@@ -1,0 +1,240 @@
+package viator
+
+import (
+	"testing"
+
+	"viator/internal/hw"
+	"viator/internal/roles"
+	"viator/internal/routing"
+	"viator/internal/shuttle"
+	"viator/internal/sim"
+	"viator/internal/spec"
+	"viator/internal/topo"
+	"viator/internal/vm"
+)
+
+// One benchmark per paper artifact: running `go test -bench=.` regenerates
+// every table and figure. The per-op cost is the cost of reproducing that
+// artifact end to end.
+
+func BenchmarkE1_Table1_Deployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE1(42)
+		if r.Rows[3].Coverage < deployTarget {
+			b.Fatal("4G deployment failed")
+		}
+	}
+}
+
+func BenchmarkE2_Fig1_Evolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE2(42)
+		if r.Entropy[len(r.Entropy)-1] < 1.0 {
+			b.Fatal("no differentiation")
+		}
+	}
+}
+
+func BenchmarkE3_Fig2_Profiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(RunE3(42).Rows) != 14 {
+			b.Fatal("catalog incomplete")
+		}
+	}
+}
+
+func BenchmarkE4_Fig3_Horizontal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE4(42)
+		if r.Figure[2].SavingsPct <= 0 {
+			b.Fatal("no savings")
+		}
+	}
+}
+
+func BenchmarkE5_Fig4_Vertical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE5(42) // fixed seed: the scenario is deterministic traffic
+		if r.Rows[3].MeanLatMs >= r.Rows[1].MeanLatMs {
+			b.Fatal("overlay did not help")
+		}
+	}
+}
+
+func BenchmarkE6_Generations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE6(42)
+		if r.Rows[3].Throughput <= r.Rows[1].Throughput {
+			b.Fatal("ladder inverted")
+		}
+	}
+}
+
+func BenchmarkE7_DCP_Morphing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE7(42)
+		if r.Rows[2].AcceptRate < 0.99 {
+			b.Fatal("full morph rejected")
+		}
+	}
+}
+
+func BenchmarkE8_SRP_Clusters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE8(42)
+		if r.RoundsToExclude <= 0 {
+			b.Fatal("exclusion failed")
+		}
+	}
+}
+
+func BenchmarkE9_MFP_Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE9(42)
+		if r.Rows[10].LossPct > r.Rows[0].LossPct {
+			b.Fatal("feedback made it worse")
+		}
+	}
+}
+
+func BenchmarkE10_PMP_Lifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE10(42)
+		if r.Emerged < 1 {
+			b.Fatal("no emergence")
+		}
+	}
+}
+
+func BenchmarkE11_ModelCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := RunE11(42)
+		if !r.Rows[2].SafetyOK {
+			b.Fatal("safety violated")
+		}
+	}
+}
+
+func BenchmarkE12_RoleClasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(RunE12(42).Rows) != 14 {
+			b.Fatal("roles missing")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks: the building blocks' raw costs ---
+
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := sim.NewKernel(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(1, func() {})
+		if k.Pending() > 1024 {
+			k.Run(k.Now() + 0.5)
+		}
+	}
+	k.Drain()
+}
+
+func BenchmarkVMExecution(b *testing.B) {
+	p := vm.MustAssemble(`
+		PUSH 100
+		STORE 0
+	loop:
+		LOAD 0
+		JZ done
+		LOAD 0
+		PUSH 1
+		SUB
+		STORE 0
+		JMP loop
+	done:
+		HALT`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.NewMachine(p, 10000).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShuttleCodec(b *testing.B) {
+	sh := shuttle.New(1, shuttle.Gene, 0, 1, 2)
+	sh.CodeID = "svc"
+	sh.Code = make([]byte, 256)
+	sh.Data = make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := shuttle.Decode(sh.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFabricReconfigure(b *testing.B) {
+	f := hw.NewFabric(8, 64)
+	bs := hw.Parity(8, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bs.ApplyAt(f, i%32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFabricEval(b *testing.B) {
+	f := hw.NewFabric(8, 64)
+	if err := hw.Parity(8, 8).ApplyAt(f, 0); err != nil {
+		b.Fatal(err)
+	}
+	in := make([]bool, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in[0] = i&1 != 0
+		if _, err := f.Eval(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptiveRouterPulse(b *testing.B) {
+	g := topo.ConnectedWaxman(48, 0.3, 0.25, sim.NewRNG(1))
+	r := routing.NewAdaptive(g, 4)
+	r.SpawnOverlay("qos", 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ObserveUtilization(i%g.Links(), 0.5)
+		r.Pulse()
+	}
+}
+
+func BenchmarkRoleFusionPipeline(b *testing.B) {
+	f := roles.NewFuser(4, 0.25)
+	c := roles.Chunk{Stream: "s", Bytes: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Seq = i
+		f.Process(c)
+	}
+}
+
+func BenchmarkSpecStateExploration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := spec.New(spec.Config{N: 4, Budget: 2})
+		if !p.CheckSafety(0).OK() {
+			b.Fatal("violation")
+		}
+	}
+}
+
+func BenchmarkJetEpidemic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(16, uint64(i))
+		cfg.Graph = topo.Grid(4, 4)
+		n := NewNetwork(cfg)
+		n.InjectJet(0, roles.Boosting, 3)
+		n.Run(10)
+	}
+}

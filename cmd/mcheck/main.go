@@ -1,0 +1,49 @@
+// Command mcheck exhaustively verifies the generic adaptive ad-hoc
+// routing protocol (internal/spec) with the explicit-state model checker
+// (internal/mc) — the reproduction of the paper's TLA+/TLC outlook.
+//
+// Usage:
+//
+//	mcheck [-n nodes] [-budget toggles] [-max states]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viator/internal/spec"
+)
+
+func main() {
+	n := flag.Int("n", 4, "model size (2..5 nodes)")
+	budget := flag.Int("budget", 2, "environment link-toggle budget")
+	max := flag.Int("max", 0, "state bound (0 = exhaustive)")
+	flag.Parse()
+
+	p := spec.New(spec.Config{N: *n, Budget: uint8(*budget)})
+	fmt.Printf("checking adaptive ad-hoc routing protocol: N=%d, budget=%d\n", *n, *budget)
+
+	safety := p.CheckSafety(*max)
+	fmt.Printf("safety:   %v\n", safety)
+	if !safety.OK() {
+		if len(safety.Violations) > 0 {
+			v := safety.Violations[0]
+			fmt.Printf("  INVARIANT %s VIOLATED; counterexample (%d steps):\n", v.Invariant, len(v.Trace)-1)
+			for i, s := range v.Trace {
+				fmt.Printf("    %2d: links=%010b routes=%v hops=%v budget=%d\n",
+					i, s.Links, s.Route[:*n], s.Hops[:*n], s.Budget)
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Println("  all invariants hold: DestAlwaysValid, NextHopValid, HopFeasibility, LoopFreedom")
+
+	live := p.CheckLiveness(*max)
+	if !live.Holds {
+		fmt.Printf("liveness: VIOLATED (%s) from %+v\n", live.Reason, live.Witness)
+		os.Exit(1)
+	}
+	fmt.Printf("liveness: stable+connected ~> all-routes-valid holds over %d premise states\n", live.Checked)
+	fmt.Println("protocol verified bug-free")
+}

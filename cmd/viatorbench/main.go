@@ -1,0 +1,84 @@
+// Command viatorbench regenerates every table and figure of the paper's
+// reproduction: it runs experiments E1–E12 and prints their result
+// tables (optionally as CSV). This is the harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	viatorbench [-seed N] [-csv] [-only E5,E11]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"viator"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "experiment seed (equal seeds replay exactly)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all")
+	ablations := flag.Bool("ablations", false, "also run the design-knob ablation sweeps")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			want[id] = true
+		}
+	}
+	runIt := func(id string) bool { return len(want) == 0 || want[id] }
+
+	experiments := []struct {
+		id  string
+		run func(uint64) *viator.Table
+	}{
+		{"E1", func(s uint64) *viator.Table { return viator.RunE1(s).Table() }},
+		{"E2", func(s uint64) *viator.Table { return viator.RunE2(s).Table() }},
+		{"E3", func(s uint64) *viator.Table { return viator.RunE3(s).Table() }},
+		{"E4", func(s uint64) *viator.Table { return viator.RunE4(s).Table() }},
+		{"E5", func(s uint64) *viator.Table { return viator.RunE5(s).Table() }},
+		{"E6", func(s uint64) *viator.Table { return viator.RunE6(s).Table() }},
+		{"E7", func(s uint64) *viator.Table { return viator.RunE7(s).Table() }},
+		{"E8", func(s uint64) *viator.Table { return viator.RunE8(s).Table() }},
+		{"E9", func(s uint64) *viator.Table { return viator.RunE9(s).Table() }},
+		{"E10", func(s uint64) *viator.Table { return viator.RunE10(s).Table() }},
+		{"E11", func(s uint64) *viator.Table { return viator.RunE11(s).Table() }},
+		{"E12", func(s uint64) *viator.Table { return viator.RunE12(s).Table() }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !runIt(e.id) {
+			continue
+		}
+		tb := e.run(*seed)
+		if *csv {
+			fmt.Printf("# %s\n%s\n", e.id, tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "viatorbench: no experiment matched -only")
+		os.Exit(2)
+	}
+	if *ablations {
+		for _, tb := range []*viator.Table{
+			viator.AblationMorphRate(*seed),
+			viator.AblationJetFanout(*seed),
+			viator.AblationHysteresis(*seed),
+			viator.AblationFactHalfLife(*seed),
+		} {
+			if *csv {
+				fmt.Println(tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+	}
+}

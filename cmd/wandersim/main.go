@@ -1,0 +1,85 @@
+// Command wandersim runs an interactive-scale Wandering Network scenario
+// and prints periodic Figure-1 style snapshots: role differentiation,
+// clusters, exclusions and traffic counters.
+//
+// Usage:
+//
+//	wandersim [-ships N] [-seed N] [-duration S] [-snapshot S]
+//	          [-unfair F] [-jets role,role] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"viator"
+	"viator/internal/kq"
+	"viator/internal/metamorph"
+	"viator/internal/roles"
+	"viator/internal/shuttle"
+)
+
+func main() {
+	ships := flag.Int("ships", 24, "fleet size")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	duration := flag.Float64("duration", 60, "virtual seconds to run")
+	snapEvery := flag.Float64("snapshot", 10, "snapshot period (virtual seconds)")
+	unfair := flag.Float64("unfair", 0.1, "fraction of misreporting ships")
+	jets := flag.String("jets", "caching,boosting", "roles to deploy via jets at t=0")
+	dot := flag.Bool("dot", false, "print the final topology as Graphviz DOT")
+	flag.Parse()
+
+	cfg := viator.DefaultConfig(*ships, *seed)
+	cfg.UnfairFraction = *unfair
+	net := viator.NewNetwork(cfg)
+	net.StartPulses(1.0)
+
+	// Deploy the requested functions with jets from random ships.
+	rng := net.K.Rand.Split()
+	for _, name := range strings.Split(*jets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, ok := roles.KindByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wandersim: unknown role %q\n", name)
+			os.Exit(2)
+		}
+		net.InjectJet(rng.Intn(*ships), k, 3)
+	}
+
+	// Background traffic: random data shuttles plus demand facts that
+	// keep the metamorphosis engine busy.
+	eng := metamorph.New(metamorph.DefaultConfig(), net.Ships)
+	cand := metamorph.DefaultConfig().CandidateRoles
+	net.K.Every(0.1, func() {
+		src := rng.Intn(*ships)
+		dst := rng.Intn(*ships)
+		if src != dst {
+			net.SendShuttle(net.NewShuttle(shuttle.Data, src, dst), "")
+		}
+		k := cand[rng.Intn(len(cand))]
+		net.Ships[rng.Intn(*ships)].KB.Observe(kq.FactID("need:"+k.String()), 2, net.Now())
+	})
+	net.K.Every(2.0, func() {
+		eng.HorizontalPulse(func(i int, k roles.Kind) float64 {
+			return net.Ships[i].KB.Activation(kq.FactID("need:"+k.String()), net.Now())
+		})
+	})
+	net.K.Every(*snapEvery, func() {
+		fmt.Print(net.Snapshot())
+		fmt.Printf("  shuttles: delivered=%d rejected=%d lost=%d  net: %v\n\n",
+			net.DeliveredShuttles, net.RejectedShuttles, net.LostShuttles, net.Net)
+	})
+
+	net.Run(*duration)
+	fmt.Println("final state:")
+	fmt.Print(net.Snapshot())
+	fmt.Printf("  horizontal migrations: %d\n", eng.Horizontal)
+	if *dot {
+		fmt.Println(net.DOT())
+	}
+}

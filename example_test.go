@@ -1,0 +1,44 @@
+package viator_test
+
+import (
+	"fmt"
+
+	"viator"
+	"viator/internal/kq"
+	"viator/internal/ployon"
+	"viator/internal/roles"
+	"viator/internal/topo"
+)
+
+// Deploying a function across the fleet with a self-replicating jet.
+func ExampleNetwork_InjectJet() {
+	cfg := viator.DefaultConfig(9, 7)
+	cfg.Graph = topo.Grid(3, 3)
+	net := viator.NewNetwork(cfg)
+	net.InjectJet(0, roles.Caching, 3)
+	net.Run(20)
+	fmt.Printf("caching coverage: %.0f%%\n", 100*net.RoleCoverage(roles.Caching))
+	// Output: caching coverage: 100%
+}
+
+// The Dualistic Congruence Principle: structural shapes and their match.
+func ExampleCongruence() {
+	server := ployon.CanonicalShape(ployon.ClassServer)
+	relay := ployon.CanonicalShape(ployon.ClassRelay)
+	fmt.Printf("server vs server: %.2f\n", ployon.Congruence(server, server))
+	fmt.Printf("server vs relay:  %.2f\n", ployon.Congruence(server, relay))
+	// Output:
+	// server vs server: 1.00
+	// server vs relay:  0.32
+}
+
+// Definition 3.3: a fact's lifetime follows t½ · log₂(weight/threshold).
+func ExampleStore_Lifetime() {
+	kb := kq.NewStore(10, 0.5, 0) // half-life 10 s, threshold 0.5
+	kb.Observe("traffic", 4, 0)   // weight 4 → 3 half-lives of life
+	fmt.Printf("lifetime: %.0f s\n", kb.Lifetime("traffic", 0))
+	fmt.Printf("alive at 29 s: %v, at 31 s: %v\n", kb.Alive("traffic", 29), kb.Alive("traffic", 31))
+	// Output:
+	// lifetime: 30 s
+	// alive at 29 s: true, at 31 s: false
+}

@@ -1,0 +1,58 @@
+// Ad-hoc QoS: the paper's outlook application. A fleet of mobile ships
+// (random-waypoint mobility) maintains connectivity-driven routes with
+// the on-demand ad-hoc protocol, while the formally verified routing
+// spec is model-checked for the same protocol family. Demonstrates:
+// mobility → link churn → rediscovery, and exhaustive verification.
+package main
+
+import (
+	"fmt"
+
+	"viator/internal/mobility"
+	"viator/internal/routing"
+	"viator/internal/sim"
+	"viator/internal/spec"
+	"viator/internal/topo"
+)
+
+func main() {
+	const (
+		ships  = 20
+		arena  = 100.0
+		radius = 35.0
+	)
+	rng := sim.NewRNG(7)
+	model := mobility.NewRandomWaypoint(ships, arena, 2, 8, 1, rng)
+
+	g := topo.New()
+	g.AddNodes(ships)
+	mobility.Connectivity(g, model.Positions(), radius)
+	router := routing.NewAODV(g)
+
+	// Drive 60 seconds of mobility in 1 s steps; each step refreshes the
+	// radio connectivity and routes a QoS flow 0 → 19.
+	okSteps, partitioned := 0, 0
+	for step := 0; step < 60; step++ {
+		mobility.Connectivity(g, model.Step(1), radius)
+		if path := router.Route(0, ships-1); path != nil {
+			okSteps++
+		} else {
+			partitioned++
+		}
+	}
+	fmt.Printf("mobile ad-hoc run: %d/60 steps routable, %d partitioned\n", okSteps, partitioned)
+	fmt.Printf("route discoveries: %d (control msgs %d), cache hits: %d\n",
+		router.Discoveries, router.ControlMsgs, router.CacheHits)
+
+	// The same protocol family, verified exhaustively (the paper's
+	// "four pages of bug-free TLA+" artifact).
+	p := spec.New(spec.DefaultConfig())
+	safety := p.CheckSafety(0)
+	live := p.CheckLiveness(0)
+	fmt.Printf("model check: %v\n", safety)
+	fmt.Printf("liveness (stable+connected ~> routes established): holds=%v over %d states\n",
+		live.Holds, live.Checked)
+	if safety.OK() && live.Holds {
+		fmt.Println("adaptive routing protocol verified bug-free")
+	}
+}

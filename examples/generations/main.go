@@ -1,0 +1,20 @@
+// Generations: the 1G→4G Wandering Network ladder. Runs the E1
+// deployment race (Table 1) and the E6 adaptation-under-churn ladder,
+// printing both tables — the executable form of the paper's section B
+// classification.
+package main
+
+import (
+	"fmt"
+
+	"viator"
+)
+
+func main() {
+	fmt.Println(viator.RunE1(42).Table().String())
+	fmt.Println(viator.RunE6(42).Table().String())
+	fmt.Println("reading: each generation's defining capability is the one")
+	fmt.Println("that moves its row — 1G cannot adapt at all, 2G adapts by")
+	fmt.Println("central push, 3G serves at hardware speed, 4G self-distributes")
+	fmt.Println("and repairs its dead (autopoiesis).")
+}

@@ -1,0 +1,38 @@
+// Multimedia: the paper's motivating workload. An MPEG-like sensor
+// fan-in crosses the paper's own 6-node topology; the fusion function
+// wanders from the sink toward the sources (horizontal metamorphosis)
+// and a QoS overlay detours a latency-critical stream around congestion
+// (vertical metamorphosis). Prints the backbone-load and latency effects.
+package main
+
+import (
+	"fmt"
+
+	"viator"
+)
+
+func main() {
+	// Horizontal wandering: fusion placement vs backbone load (Figure 3).
+	e4 := viator.RunE4(42)
+	fmt.Println("fusion placement on the paper's 6-node topology:")
+	for _, row := range e4.Figure {
+		fmt.Printf("  %-36s backbone %6.1f KB  savings %5.1f%%\n",
+			row.Variant, float64(row.BackboneBytes)/1024, row.SavingsPct)
+	}
+
+	// Vertical wandering: QoS overlay vs static routing (Figure 4).
+	e5 := viator.RunE5(42)
+	fmt.Println("\nQoS stream under bulk congestion:")
+	for _, row := range e5.Rows {
+		if row.Class != "qos" {
+			continue
+		}
+		fmt.Printf("  %-42s mean %7.2f ms   p95 %7.2f ms\n", row.Mode, row.MeanLatMs, row.P95LatMs)
+	}
+
+	// The full per-role traffic effects (section D classes).
+	fmt.Println("\nrole classes (bytes out / bytes in):")
+	for _, row := range viator.RunE12(42).Rows {
+		fmt.Printf("  %-16s L%d  ratio %.3g  %s\n", row.Role, row.Level, row.Ratio, row.Effect)
+	}
+}

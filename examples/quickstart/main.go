@@ -1,0 +1,46 @@
+// Quickstart: build a small 4G Wandering Network, deploy a function with
+// a self-replicating jet, watch the fleet differentiate, and print
+// Figure-1 style snapshots.
+package main
+
+import (
+	"fmt"
+
+	"viator"
+	"viator/internal/roles"
+	"viator/internal/shuttle"
+)
+
+func main() {
+	// A 16-ship network; the same seed always replays the same run.
+	net := viator.NewNetwork(viator.DefaultConfig(16, 42))
+
+	// Arm the autopoietic machinery: knowledge sweeps, router feedback,
+	// community gossip — one pulse per virtual second.
+	net.StartPulses(1.0)
+
+	// Deploy the caching function everywhere using a jet: a shuttle that
+	// executes at each ship it lands on, installs the role, and
+	// replicates itself to neighbors.
+	net.InjectJet(0, roles.Caching, 3)
+
+	// Some background traffic between random ships.
+	rng := net.K.Rand.Split()
+	net.K.Every(0.2, func() {
+		src, dst := rng.Intn(16), rng.Intn(16)
+		if src != dst {
+			net.SendShuttle(net.NewShuttle(shuttle.Data, src, dst), "")
+		}
+	})
+
+	for _, horizon := range []float64{5, 15, 30} {
+		net.Run(horizon)
+		fmt.Print(net.Snapshot())
+		fmt.Printf("  caching coverage: %.0f%%   shuttles delivered: %d\n\n",
+			100*net.RoleCoverage(roles.Caching), net.DeliveredShuttles)
+	}
+
+	// Every ship can describe itself (Self-Reference Principle): ask one.
+	desc := net.Ship(7).Describe()
+	fmt.Printf("ship 7 self-description: class=%d roles=%v\n", desc.ShipClass, desc.Roles)
+}

@@ -1,0 +1,63 @@
+// Resonance: network functions emerging on their own (Definition 3.4).
+// Ships observe correlated facts ("video-load" and "cpu-hot" co-occur in
+// evening traffic); the resonance engine detects the constellation and a
+// new net function emerges that nobody injected. Its lifetime then obeys
+// the fact-threshold law, and exchanging knowledge quanta prolongs it.
+package main
+
+import (
+	"fmt"
+
+	"viator/internal/kq"
+	"viator/internal/resonance"
+	"viator/internal/sim"
+)
+
+func main() {
+	eng := resonance.New(resonance.DefaultConfig())
+	rng := sim.NewRNG(3)
+
+	// 24 ships observe traffic facts over 20 epochs. In the "evening"
+	// epochs, video load and CPU heat co-occur.
+	for epoch := 0; epoch < 20; epoch++ {
+		evening := epoch%4 >= 2
+		for s := 0; s < 24; s++ {
+			kb := kq.NewStore(10, 0.5, 0)
+			if evening {
+				kb.Observe("video-load", 5, 0)
+				kb.Observe("cpu-hot", 5, 0)
+			} else {
+				kb.Observe("web-load", 5, 0)
+				if rng.Bool(0.3) {
+					kb.Observe("cpu-hot", 5, 0)
+				}
+			}
+			eng.Observe(kb, 0)
+		}
+	}
+
+	emerged := eng.Emerge()
+	fmt.Printf("observations: %d; emerged functions: %d\n", eng.Observations(), len(emerged))
+	for _, nf := range emerged {
+		fmt.Printf("  %s (requires %v)\n", nf.Name, nf.Requires)
+	}
+	fmt.Printf("correlation(video-load, cpu-hot) = %.2f\n", eng.Correlation("video-load", "cpu-hot"))
+	fmt.Printf("correlation(web-load,   cpu-hot) = %.2f\n", eng.Correlation("web-load", "cpu-hot"))
+
+	// The emerged function lives and dies with its facts.
+	if len(emerged) > 0 {
+		nf := emerged[0]
+		kb := kq.NewStore(10, 0.5, 0)
+		kb.Observe("video-load", 8, 0)
+		kb.Observe("cpu-hot", 8, 0)
+		fmt.Printf("\nemerged function %q:\n", nf.Name)
+		fmt.Printf("  alive at t=0:  %v (lifetime %.1f s)\n", nf.Alive(kb, 0), nf.Lifetime(kb, 0))
+		fmt.Printf("  alive at t=60: %v\n", nf.Alive(kb, 60))
+		// A knowledge quantum arrives at t=30 and prolongs the function.
+		q := kq.Quantum{Function: nf, Facts: []kq.FactRecord{
+			{ID: "video-load", Weight: 8}, {ID: "cpu-hot", Weight: 8},
+		}}
+		q.Absorb(kb, 30)
+		fmt.Printf("  after quantum exchange at t=30, alive at t=60: %v\n", nf.Alive(kb, 60))
+	}
+}

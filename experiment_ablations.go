@@ -1,0 +1,161 @@
+package viator
+
+import (
+	"math"
+
+	"viator/internal/kq"
+	"viator/internal/metamorph"
+	"viator/internal/ployon"
+	"viator/internal/roles"
+	"viator/internal/ship"
+	"viator/internal/shuttle"
+	"viator/internal/sim"
+	"viator/internal/stats"
+	"viator/internal/topo"
+)
+
+// Ablations of the design choices DESIGN.md calls out: each sweeps one
+// mechanism parameter and shows why the default sits where it does.
+
+// AblationMorphRate sweeps the shuttle morph rate (the DCP knob): low
+// rates leave interfaces mismatched, full rates dock everything; the
+// byte overhead is paid once per morph regardless, so partial rates are
+// strictly dominated.
+func AblationMorphRate(seed uint64) *stats.Table {
+	t := stats.NewTable("Ablation — shuttle morph rate (DCP)",
+		"morph rate", "accept rate", "morph KB per 200 shuttles")
+	for _, rate := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		rng := sim.NewRNG(seed)
+		var ships []*ship.Ship
+		for c := ployon.Class(0); c < ployon.NumClasses; c++ {
+			cfg := ship.DefaultConfig(ployon.ID(c), c)
+			cfg.CongruenceThreshold = 0.8
+			s := ship.New(cfg)
+			s.Birth()
+			ships = append(ships, s)
+		}
+		accepted, bytes := 0, 0
+		for i := 0; i < 200; i++ {
+			src := ployon.Class(rng.Intn(int(ployon.NumClasses)))
+			dst := rng.Intn(len(ships))
+			sh := shuttle.New(ployon.ID(i), shuttle.Data, -1, int32(dst), src)
+			if rate > 0 {
+				bytes += sh.Morph(ships[dst].Shape, rate)
+			}
+			if r, _ := ships[dst].Dock(sh, 0); r.Accepted {
+				accepted++
+			}
+		}
+		t.AddRow(rate, float64(accepted)/200, float64(bytes)/1024)
+	}
+	return t
+}
+
+// AblationJetFanout sweeps jet replication fanout: higher fanout covers
+// the fleet faster but multiplies redundant traffic; fanout 3 is the
+// knee on a 64-node grid.
+func AblationJetFanout(seed uint64) *stats.Table {
+	t := stats.NewTable("Ablation — jet replication fanout (4G deployment)",
+		"fanout", "time to 95% (s)", "network KB")
+	for _, fanout := range []int{1, 2, 3, 4, 5} {
+		cfg := DefaultConfig(64, seed)
+		cfg.Graph = topo.Grid(8, 8)
+		n := NewNetwork(cfg)
+		n.InjectJet(0, roles.Boosting, fanout)
+		rng := n.K.Rand.Split()
+		tt := math.Inf(1)
+		tick := n.K.Every(0.25, func() {
+			if n.RoleCoverage(roles.Boosting) >= deployTarget {
+				tt = n.Now()
+				n.K.Stop()
+				return
+			}
+			var covered []int
+			for i, s := range n.Ships {
+				if s.ModalRole() == roles.Boosting {
+					covered = append(covered, i)
+				}
+			}
+			if len(covered) > 0 {
+				n.InjectJet(covered[rng.Intn(len(covered))], roles.Boosting, fanout)
+			}
+		})
+		n.Run(120)
+		tick.Stop()
+		ttCell := "never"
+		if !math.IsInf(tt, 1) {
+			ttCell = trimFloat(tt)
+		}
+		t.AddRow(fanout, ttCell, float64(n.Net.TotalBytes())/1024)
+	}
+	return t
+}
+
+// AblationHysteresis sweeps the horizontal-pulse hysteresis: too low and
+// roles flap under noisy demand, too high and the network stops adapting.
+func AblationHysteresis(seed uint64) *stats.Table {
+	t := stats.NewTable("Ablation — metamorphosis hysteresis (PMP)",
+		"hysteresis", "migrations over 40 pulses", "final entropy")
+	for _, hys := range []float64{1.0, 1.1, 1.2, 1.5, 2.0, 4.0} {
+		rng := sim.NewRNG(seed)
+		var ships []*ship.Ship
+		for i := 0; i < 16; i++ {
+			s := ship.New(ship.DefaultConfig(ployon.ID(i), ployon.ClassServer))
+			s.Birth()
+			ships = append(ships, s)
+		}
+		mcfg := metamorph.DefaultConfig()
+		mcfg.Hysteresis = hys
+		eng := metamorph.New(mcfg, ships)
+		cand := mcfg.CandidateRoles
+		// Noisy demand: a stable per-ship preference plus jitter that
+		// would cause flapping without hysteresis.
+		pref := make([]roles.Kind, len(ships))
+		for i := range pref {
+			pref[i] = cand[i%len(cand)]
+		}
+		total := 0
+		for pulse := 0; pulse < 40; pulse++ {
+			m, _ := eng.HorizontalPulse(func(i int, k roles.Kind) float64 {
+				d := 1 + rng.Float64()*0.4 // noise band ±40%
+				if k == pref[i] {
+					return 1.3 * d
+				}
+				return d
+			})
+			total += m
+		}
+		t.AddRow(hys, total, metamorph.RoleEntropy(ships))
+	}
+	return t
+}
+
+// AblationFactHalfLife sweeps the knowledge-base half-life: short
+// half-lives forget too fast for functions to survive between refreshes,
+// long ones hoard stale facts.
+func AblationFactHalfLife(seed uint64) *stats.Table {
+	t := stats.NewTable("Ablation — fact half-life (Definition 3.3)",
+		"half-life (s)", "facts alive @t=60", "stale facts (unrefreshed 60s)", "evictions")
+	for _, hl := range []float64{2, 5, 10, 30, 120} {
+		st := kq.NewStore(hl, 0.5, 64)
+		// Hot facts refreshed every 5 s; cold facts observed once.
+		for i := 0; i < 8; i++ {
+			st.Observe(kq.FactID(string(rune('a'+i))), 2, 0)
+		}
+		for tick := 0.0; tick <= 60; tick += 5 {
+			for i := 0; i < 4; i++ { // only half stay hot
+				st.Observe(kq.FactID(string(rune('a'+i))), 2, tick)
+			}
+			st.Sweep(tick)
+		}
+		alive := len(st.Facts(60))
+		stale := 0
+		for i := 4; i < 8; i++ {
+			if st.Alive(kq.FactID(string(rune('a'+i))), 60) {
+				stale++
+			}
+		}
+		t.AddRow(hl, alive, stale, st.Evicted)
+	}
+	return t
+}

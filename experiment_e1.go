@@ -1,0 +1,170 @@
+package viator
+
+import (
+	"fmt"
+	"math"
+
+	"viator/internal/baseline"
+	"viator/internal/roles"
+	"viator/internal/shuttle"
+	"viator/internal/sim"
+	"viator/internal/stats"
+	"viator/internal/topo"
+	"viator/internal/vm"
+)
+
+// E1 reproduces Table 1 ("Open enhancements to the AN concept") as a
+// quantitative deployment experiment: a new network function must reach
+// every node of a 64-node grid. The passive network has no mechanism at
+// all; the 1G capsule network distributes code on demand along traffic
+// paths; the 2G NodeOS network pushes code node-by-node from a
+// controller; the 4G Wandering Network deploys with self-replicating
+// jets. The paper's claim is that each added capability strictly widens
+// what is deployable and shrinks deployment time.
+type E1Result struct {
+	Rows []E1Row
+}
+
+// E1Row is one deployment strategy's outcome.
+type E1Row struct {
+	Strategy     string
+	Coverage     float64 // final fraction of nodes holding the function
+	TimeTo95     float64 // seconds to 95% coverage (+Inf if never)
+	ControlBytes uint64  // deployment-protocol bytes on the wire
+}
+
+// deployTarget is the coverage that stops the clock.
+const deployTarget = 0.95
+
+// RunE1 executes all four strategies on the same 8×8 grid.
+func RunE1(seed uint64) *E1Result {
+	res := &E1Result{}
+
+	// --- Passive: no deployment capability whatsoever.
+	res.Rows = append(res.Rows, E1Row{Strategy: "passive", Coverage: 0, TimeTo95: math.Inf(1)})
+
+	// --- 1G ANTS: code spreads only where capsules travel.
+	{
+		k := sim.NewKernel(seed)
+		g := topo.Grid(8, 8)
+		a := baseline.NewANTS(k, g, 100_000)
+		prog := vm.MustAssemble("PUSH 1\nHALT")
+		a.Store(0).Put("svc", prog)
+		// Traffic: node 0 sends one capsule to a random destination every
+		// 50 ms for up to 600 s.
+		rng := k.Rand.Split()
+		tt95 := math.Inf(1)
+		tick := k.Every(0.05, func() {
+			dst := topo.NodeID(rng.Intn(g.N()))
+			if dst != 0 {
+				a.SendCapsule(&baseline.Capsule{CodeID: "svc", Src: 0, Dst: dst, Size: 400})
+			}
+			if math.IsInf(tt95, 1) && a.Coverage("svc") >= deployTarget {
+				tt95 = k.Now()
+				k.Stop()
+			}
+		})
+		k.Run(600)
+		tick.Stop()
+		res.Rows = append(res.Rows, E1Row{
+			Strategy: "1G capsules (demand pull)", Coverage: a.Coverage("svc"),
+			TimeTo95: tt95, ControlBytes: a.ControlBytes,
+		})
+	}
+
+	// --- 2G NodeOS push: a controller unicasts a code shuttle to every
+	// ship in sequence.
+	{
+		cfg := DefaultConfig(64, seed)
+		cfg.Graph = topo.Grid(8, 8)
+		cfg.Generation = 2
+		n := NewNetwork(cfg)
+		code := vm.Encode(vm.MustAssemble("PUSH 1\nHALT"))
+		var ctrlBytes uint64
+		for i := 1; i < 64; i++ {
+			i := i
+			// Pushes are serialized at 10 ms apart (controller CPU).
+			n.K.At(float64(i)*0.01, func() {
+				sh := n.NewShuttle(shuttle.Code, 0, i)
+				sh.CodeID = "svc"
+				sh.Code = code
+				ctrlBytes += uint64(sh.WireSize())
+				n.SendShuttle(sh, "")
+			})
+		}
+		coverage := func() float64 {
+			have := 1 // controller
+			for i := 1; i < 64; i++ {
+				if n.Ships[i].OS.Store.Has("svc") {
+					have++
+				}
+			}
+			return float64(have) / 64
+		}
+		tt95 := math.Inf(1)
+		tick := n.K.Every(0.01, func() {
+			if math.IsInf(tt95, 1) && coverage() >= deployTarget {
+				tt95 = n.Now()
+				n.K.Stop()
+			}
+		})
+		n.Run(600)
+		tick.Stop()
+		res.Rows = append(res.Rows, E1Row{
+			Strategy: "2G NodeOS (controller push)", Coverage: coverage(),
+			TimeTo95: tt95, ControlBytes: ctrlBytes,
+		})
+	}
+
+	// --- 4G Wandering Network: epidemic jets.
+	{
+		cfg := DefaultConfig(64, seed)
+		cfg.Graph = topo.Grid(8, 8)
+		n := NewNetwork(cfg)
+		n.InjectJet(0, roles.Boosting, 3)
+		// Re-seed a fresh jet wave every 250 ms from a random covered ship
+		// until coverage closes (generation bound ends each wave).
+		rng := n.K.Rand.Split()
+		tt95 := math.Inf(1)
+		tick := n.K.Every(0.25, func() {
+			if math.IsInf(tt95, 1) && n.RoleCoverage(roles.Boosting) >= deployTarget {
+				tt95 = n.Now()
+				n.K.Stop()
+				return
+			}
+			covered := []int{}
+			for i, s := range n.Ships {
+				if s.ModalRole() == roles.Boosting {
+					covered = append(covered, i)
+				}
+			}
+			if len(covered) > 0 {
+				n.InjectJet(covered[rng.Intn(len(covered))], roles.Boosting, 3)
+			}
+		})
+		n.Run(600)
+		tick.Stop()
+		res.Rows = append(res.Rows, E1Row{
+			Strategy: "4G jets (epidemic)", Coverage: n.RoleCoverage(roles.Boosting),
+			TimeTo95: tt95, ControlBytes: n.Net.TotalBytes(),
+		})
+	}
+	return res
+}
+
+// Table renders the E1 result.
+func (r *E1Result) Table() *stats.Table {
+	t := stats.NewTable("E1 / Table 1 — function deployment across network generations",
+		"strategy", "final coverage", "time to 95% (s)", "control KB")
+	for _, row := range r.Rows {
+		tt := "never"
+		if !math.IsInf(row.TimeTo95, 1) {
+			tt = trimFloat(row.TimeTo95)
+		}
+		t.AddRow(row.Strategy, row.Coverage, tt, float64(row.ControlBytes)/1024)
+	}
+	return t
+}
+
+// trimFloat formats a float compactly for table cells.
+func trimFloat(v float64) string { return fmt.Sprintf("%.4g", v) }

@@ -1,0 +1,328 @@
+package viator
+
+import (
+	"fmt"
+
+	"viator/internal/kq"
+	"viator/internal/metamorph"
+	"viator/internal/roles"
+	"viator/internal/routing"
+	"viator/internal/ship"
+	"viator/internal/stats"
+	"viator/internal/topo"
+)
+
+// ---------------------------------------------------------------------------
+// E2 — Figure 1: the evolutionary "always under construction" snapshot.
+// A 32-ship network starts functionally uniform; regional traffic demands
+// (facts) pull functions into the ships via horizontal pulses; the role
+// entropy rises from 0 and stabilizes while migrations keep happening at
+// a low rate — the network is never "finished".
+// ---------------------------------------------------------------------------
+
+// E2Result carries the per-epoch trajectory.
+type E2Result struct {
+	Epochs       []int
+	Entropy      []float64
+	DistinctRole []int
+	Migrations   []int
+	// FinalSnapshot is the Figure-1 style picture at the end.
+	FinalSnapshot *Snapshot
+}
+
+// RunE2 executes the evolution scenario.
+func RunE2(seed uint64) *E2Result {
+	cfg := DefaultConfig(32, seed)
+	n := NewNetwork(cfg)
+	eng := metamorph.New(metamorph.DefaultConfig(), n.Ships)
+	cand := metamorph.DefaultConfig().CandidateRoles
+	rng := n.K.Rand.Split()
+
+	res := &E2Result{}
+	demand := func(i int, k roles.Kind) float64 {
+		return n.Ships[i].KB.Activation(kq.FactID("need:"+k.String()), n.Now())
+	}
+	// Region of a ship: quadrant of its position in the unit square.
+	region := func(i int) int {
+		p := n.G.Pos(topo.NodeID(i))
+		r := 0
+		if p.X > 0.5 {
+			r |= 1
+		}
+		if p.Y > 0.5 {
+			r |= 2
+		}
+		return r
+	}
+	// Each region has a demand profile that rotates mid-run: the traffic
+	// mix changes, so functions keep wandering. Regional workloads switch
+	// on gradually (region r wakes at epoch 3r) and only a sample of
+	// ships sees demand each epoch, so differentiation builds up rather
+	// than snapping into place.
+	profile := func(epoch, reg int) roles.Kind {
+		return cand[(reg+epoch/8)%len(cand)]
+	}
+
+	const epochs = 30
+	for epoch := 0; epoch < epochs; epoch++ {
+		now := float64(epoch)
+		for i, s := range n.Ships {
+			reg := region(i)
+			if epoch < 3*reg {
+				continue // this region's workload has not started yet
+			}
+			if !rng.Bool(0.35) {
+				continue // only some ships see traffic this epoch
+			}
+			k := profile(epoch, reg)
+			s.KB.Observe(kq.FactID("need:"+k.String()), 4+rng.Float64(), now)
+			// Background noise demand for a random role.
+			other := cand[rng.Intn(len(cand))]
+			s.KB.Observe(kq.FactID("need:"+other.String()), 0.5*rng.Float64(), now)
+		}
+		migrations, _ := eng.HorizontalPulse(demand)
+		for _, s := range n.Ships {
+			if s.State() == ship.Alive {
+				s.KB.Sweep(now)
+			}
+		}
+		res.Epochs = append(res.Epochs, epoch)
+		res.Entropy = append(res.Entropy, metamorph.RoleEntropy(n.Ships))
+		res.DistinctRole = append(res.DistinctRole, len(metamorph.OutstandingNetworks(n.Ships)))
+		res.Migrations = append(res.Migrations, migrations)
+		n.K.Run(now + 1)
+	}
+	res.FinalSnapshot = n.Snapshot()
+	return res
+}
+
+// Table renders the E2 trajectory.
+func (r *E2Result) Table() *stats.Table {
+	t := stats.NewTable("E2 / Figure 1 — Wandering Network evolution (role differentiation)",
+		"epoch", "role entropy (bits)", "distinct roles", "migrations")
+	for i := range r.Epochs {
+		t.AddRow(r.Epochs[i], r.Entropy[i], r.DistinctRole[i], r.Migrations[i])
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Figure 2: a ship's internal organization. Modal (First Level)
+// roles are resident and activate in milliseconds; auxiliary (Second
+// Level) roles must be installed into their own EE first; the Next-Step
+// switch chains role transitions.
+// ---------------------------------------------------------------------------
+
+// E3Row is one role's activation measurement.
+type E3Row struct {
+	Role       roles.Kind
+	Level      int
+	Modal      bool
+	ActivateMs float64
+	EEs        int
+}
+
+// E3Result carries the per-role activation matrix.
+type E3Result struct {
+	Rows []E3Row
+	// NextStepChain is the sequence the switch walked in the chaining demo.
+	NextStepChain []roles.Kind
+}
+
+// RunE3 measures the activation matrix on a fresh 4G ship.
+func RunE3(seed uint64) *E3Result {
+	res := &E3Result{}
+	for _, info := range roles.Catalog() {
+		s := ship.New(ship.DefaultConfig(1, 0))
+		s.Birth()
+		var ms float64
+		if info.Modal {
+			lat, err := s.SetModalRole(info.Kind)
+			if err != nil {
+				continue
+			}
+			ms = lat * 1000
+		} else {
+			// Auxiliary: EE registration dominates; modeled as the code
+			// install plus the soft switch of binding the processor.
+			if err := s.InstallAux(info.Kind); err != nil {
+				continue
+			}
+			ms = 3.0 // install (1 ms code store) + EE admission (2 ms)
+		}
+		res.Rows = append(res.Rows, E3Row{
+			Role: info.Kind, Level: info.Level, Modal: info.Modal,
+			ActivateMs: ms, EEs: len(s.OS.EEs()),
+		})
+	}
+	// Next-Step chaining: fusion → transcoding → caching.
+	s := ship.New(ship.DefaultConfig(2, 0))
+	s.Birth()
+	chain := []roles.Kind{roles.Fusion, roles.Transcoding, roles.Caching}
+	for _, k := range chain {
+		s.NextStep().Set(k)
+		next, _ := s.NextStep().Next()
+		s.SetModalRole(next)
+		res.NextStepChain = append(res.NextStepChain, s.ModalRole())
+	}
+	return res
+}
+
+// Table renders the activation matrix.
+func (r *E3Result) Table() *stats.Table {
+	t := stats.NewTable("E3 / Figure 2 — ship internal organization (role activation)",
+		"role", "profiling level", "residency", "activate (ms)", "EEs")
+	for _, row := range r.Rows {
+		res := "modal (resident)"
+		if !row.Modal {
+			res = "auxiliary (installed)"
+		}
+		t.AddRow(row.Role.String(), row.Level, res, row.ActivateMs, row.EEs)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Figure 3: horizontal inter-node wandering. Sensor fan-in traffic:
+// fusion placed at the sink (edge processing) vs the fusion function
+// wandering to the demand-optimal interior ship. Backbone load drops when
+// the function moves toward the sources.
+// ---------------------------------------------------------------------------
+
+// E4Row is one placement variant's outcome.
+type E4Row struct {
+	Variant       string
+	BackboneBytes int
+	SinkBytes     int
+	SavingsPct    float64
+}
+
+// E4Result holds both topologies' variants.
+type E4Result struct {
+	Figure []E4Row // paper's 6-node figure topology
+	Random []E4Row // 48-node random topology
+}
+
+// fanInLoad routes `chunks` chunks of `size` bytes from each sensor to
+// the sink over static shortest paths, applying a fusion processor at
+// the placement node (if ≥ 0). It returns (total link bytes, sink
+// ingress bytes).
+func fanInLoad(g *topo.Graph, sensors []topo.NodeID, sink topo.NodeID, placement topo.NodeID, chunks, size int) (int, int) {
+	r := routing.NewStatic(g)
+	backbone := 0
+	sinkBytes := 0
+	for _, src := range sensors {
+		path := r.Path(src, sink)
+		if path == nil {
+			continue
+		}
+		fuser := roles.NewFuser(4, 0.25)
+		for c := 0; c < chunks; c++ {
+			in := []roles.Chunk{{Stream: fmt.Sprint(src), Seq: c, Bytes: size}}
+			for hop := 0; hop+1 < len(path); hop++ {
+				var out []roles.Chunk
+				if path[hop] == placement {
+					for _, ch := range in {
+						out = append(out, fuser.Process(ch)...)
+					}
+				} else {
+					out = in
+				}
+				for _, ch := range out {
+					backbone += ch.Bytes
+					if path[hop+1] == sink {
+						sinkBytes += ch.Bytes
+					}
+				}
+				in = out
+			}
+		}
+		// Flush the partial fusion window along the rest of the path.
+		if placement >= 0 {
+			for _, ch := range fuser.Flush() {
+				// Remaining hops from placement to sink.
+				idx := -1
+				for i, p := range path {
+					if p == placement {
+						idx = i
+						break
+					}
+				}
+				if idx >= 0 {
+					for hop := idx; hop+1 < len(path); hop++ {
+						backbone += ch.Bytes
+						if path[hop+1] == sink {
+							sinkBytes += ch.Bytes
+						}
+					}
+				}
+			}
+		}
+	}
+	return backbone, sinkBytes
+}
+
+// bestPlacement picks the interior node carrying the most sensor transit
+// demand — the horizontal pulse's migration target.
+func bestPlacement(g *topo.Graph, sensors []topo.NodeID, sink topo.NodeID) topo.NodeID {
+	r := routing.NewStatic(g)
+	transit := make(map[topo.NodeID]int)
+	for _, src := range sensors {
+		for _, hop := range r.Path(src, sink) {
+			if hop != sink && hop != src {
+				transit[hop]++
+			}
+		}
+	}
+	best := sink
+	bestN := -1
+	for n, c := range transit {
+		if c > bestN || (c == bestN && n < best) {
+			best, bestN = n, c
+		}
+	}
+	return best
+}
+
+func e4Variants(g *topo.Graph, sensors []topo.NodeID, sink topo.NodeID, chunks, size int) []E4Row {
+	noFusionBB, noFusionSink := fanInLoad(g, sensors, sink, -1, chunks, size)
+	rows := []E4Row{{Variant: "no fusion", BackboneBytes: noFusionBB, SinkBytes: noFusionSink}}
+	add := func(name string, placement topo.NodeID) {
+		bb, sb := fanInLoad(g, sensors, sink, placement, chunks, size)
+		rows = append(rows, E4Row{
+			Variant: name, BackboneBytes: bb, SinkBytes: sb,
+			SavingsPct: 100 * (1 - float64(bb)/float64(noFusionBB)),
+		})
+	}
+	add("fusion at sink (edge processing)", sink)
+	add("fusion wandered to interior", bestPlacement(g, sensors, sink))
+	return rows
+}
+
+// RunE4 executes both topologies.
+func RunE4(seed uint64) *E4Result {
+	res := &E4Result{}
+	// Paper figure: sensors N4..N6 (ids 3,4,5), sink N1 (id 0).
+	res.Figure = e4Variants(topo.PaperFigure(), []topo.NodeID{3, 4, 5}, 0, 64, 1000)
+	// 48-node random geometric net, 12 sensors on the periphery.
+	g := topo.ConnectedWaxman(48, 0.3, 0.25, simRNG(seed))
+	var sensors []topo.NodeID
+	for i := g.N() - 12; i < g.N(); i++ {
+		sensors = append(sensors, topo.NodeID(i))
+	}
+	res.Random = e4Variants(g, sensors, 0, 64, 1000)
+	return res
+}
+
+// Table renders E4.
+func (r *E4Result) Table() *stats.Table {
+	t := stats.NewTable("E4 / Figure 3 — horizontal wandering: fusion placement vs backbone load",
+		"topology", "variant", "backbone KB", "sink KB", "savings %")
+	for _, row := range r.Figure {
+		t.AddRow("paper 6-node", row.Variant, float64(row.BackboneBytes)/1024, float64(row.SinkBytes)/1024, row.SavingsPct)
+	}
+	for _, row := range r.Random {
+		t.AddRow("random 48-node", row.Variant, float64(row.BackboneBytes)/1024, float64(row.SinkBytes)/1024, row.SavingsPct)
+	}
+	return t
+}

@@ -1,0 +1,310 @@
+package viator
+
+import (
+	"math"
+	"testing"
+)
+
+// Each experiment test asserts the *shape* the paper claims, not exact
+// numbers: who wins, what emerges, where the ordering falls.
+
+func TestE1DeploymentShape(t *testing.T) {
+	r := RunE1(42)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	passive, ants, push, jets := r.Rows[0], r.Rows[1], r.Rows[2], r.Rows[3]
+	if passive.Coverage != 0 || !math.IsInf(passive.TimeTo95, 1) {
+		t.Fatalf("passive deployed: %+v", passive)
+	}
+	for _, row := range []E1Row{ants, push, jets} {
+		if row.Coverage < deployTarget {
+			t.Fatalf("%s never reached target: %+v", row.Strategy, row)
+		}
+	}
+	// Jets beat demand pull on time; both are autonomous vs the push's
+	// central controller (qualitative, encoded in the strategy names).
+	if jets.TimeTo95 >= ants.TimeTo95 {
+		t.Fatalf("jets (%v s) not faster than demand pull (%v s)", jets.TimeTo95, ants.TimeTo95)
+	}
+	if r.Table().NumRows() != 4 {
+		t.Fatal("table mismatch")
+	}
+}
+
+func TestE2EvolutionShape(t *testing.T) {
+	r := RunE2(42)
+	if len(r.Entropy) != 30 {
+		t.Fatalf("epochs = %d", len(r.Entropy))
+	}
+	if r.Entropy[0] > 1.0 {
+		t.Fatalf("network differentiated instantly: H0 = %v", r.Entropy[0])
+	}
+	last := r.Entropy[len(r.Entropy)-1]
+	if last < 1.5 {
+		t.Fatalf("network failed to differentiate: H = %v", last)
+	}
+	// "Always under construction": migrations continue in the second half.
+	lateMigrations := 0
+	for _, m := range r.Migrations[15:] {
+		lateMigrations += m
+	}
+	if lateMigrations == 0 {
+		t.Fatal("network froze — no late migrations")
+	}
+	if r.FinalSnapshot == nil || r.FinalSnapshot.Alive != 32 {
+		t.Fatalf("snapshot = %+v", r.FinalSnapshot)
+	}
+}
+
+func TestE3ProfilingShape(t *testing.T) {
+	r := RunE3(42)
+	if len(r.Rows) != 14 {
+		t.Fatalf("roles measured = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Modal && row.EEs != 1 {
+			t.Fatalf("modal role %v registered extra EEs", row.Role)
+		}
+		if !row.Modal && row.EEs != 2 {
+			t.Fatalf("aux role %v EEs = %d", row.Role, row.EEs)
+		}
+		if !row.Modal && row.ActivateMs <= 0 {
+			t.Fatalf("aux activation free for %v", row.Role)
+		}
+	}
+	if len(r.NextStepChain) != 3 {
+		t.Fatalf("next-step chain = %v", r.NextStepChain)
+	}
+}
+
+func TestE4HorizontalShape(t *testing.T) {
+	r := RunE4(42)
+	for _, rows := range [][]E4Row{r.Figure, r.Random} {
+		if len(rows) != 3 {
+			t.Fatalf("variants = %d", len(rows))
+		}
+		noF, atSink, interior := rows[0], rows[1], rows[2]
+		// Edge processing saves nothing on the backbone.
+		if atSink.BackboneBytes != noF.BackboneBytes {
+			t.Fatalf("fusion at sink changed backbone: %+v vs %+v", atSink, noF)
+		}
+		// Wandered fusion strictly reduces backbone load.
+		if interior.BackboneBytes >= noF.BackboneBytes {
+			t.Fatalf("interior fusion did not save: %+v", interior)
+		}
+		if interior.SavingsPct <= 0 {
+			t.Fatalf("savings = %v", interior.SavingsPct)
+		}
+	}
+	// The paper's own topology gives the clean headline number.
+	if r.Figure[2].SavingsPct < 20 {
+		t.Fatalf("figure-topology savings only %v%%", r.Figure[2].SavingsPct)
+	}
+}
+
+func TestE5VerticalShape(t *testing.T) {
+	r := RunE5(42)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	staticQoS, adaptiveQoS := r.Rows[1], r.Rows[3]
+	if staticQoS.Class != "qos" || adaptiveQoS.Class != "qos" {
+		t.Fatalf("row layout changed: %+v", r.Rows)
+	}
+	// Topology-on-demand: the QoS class's latency collapses.
+	if adaptiveQoS.MeanLatMs >= staticQoS.MeanLatMs/2 {
+		t.Fatalf("overlay did not help: %v ms vs %v ms", adaptiveQoS.MeanLatMs, staticQoS.MeanLatMs)
+	}
+	if adaptiveQoS.P95LatMs >= staticQoS.P95LatMs {
+		t.Fatalf("overlay p95 worse: %v vs %v", adaptiveQoS.P95LatMs, staticQoS.P95LatMs)
+	}
+}
+
+func TestE6LadderShape(t *testing.T) {
+	r := RunE6(42)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	g1, g2, g3, g4 := r.Rows[0], r.Rows[1], r.Rows[2], r.Rows[3]
+	if !math.IsInf(g1.AdaptTime, 1) || g1.FinalCapacity != 0 {
+		t.Fatalf("1G adapted: %+v", g1)
+	}
+	if math.IsInf(g2.AdaptTime, 1) || g2.Repaired != 0 {
+		t.Fatalf("2G: %+v", g2)
+	}
+	// 3G serves at hardware speed: strictly more throughput than 2G.
+	if g3.Throughput <= g2.Throughput {
+		t.Fatalf("3G throughput %v <= 2G %v", g3.Throughput, g2.Throughput)
+	}
+	// 4G adapts faster than 2G/3G and repairs the dead.
+	if g4.AdaptTime >= g2.AdaptTime {
+		t.Fatalf("4G adapt %v >= 2G %v", g4.AdaptTime, g2.AdaptTime)
+	}
+	if g4.Repaired == 0 || g4.FinalCapacity <= g3.FinalCapacity {
+		t.Fatalf("4G did not repair: %+v", g4)
+	}
+	if g4.Throughput <= g3.Throughput {
+		t.Fatalf("ladder not monotone at the top: %v <= %v", g4.Throughput, g3.Throughput)
+	}
+}
+
+func TestE7MorphingShape(t *testing.T) {
+	r := RunE7(42)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	none, partial, full := r.Rows[0], r.Rows[1], r.Rows[2]
+	if !(none.AcceptRate < partial.AcceptRate && partial.AcceptRate < full.AcceptRate) {
+		t.Fatalf("acceptance not monotone in morph rate: %v %v %v",
+			none.AcceptRate, partial.AcceptRate, full.AcceptRate)
+	}
+	if full.AcceptRate < 0.999 {
+		t.Fatalf("full morphing still rejected: %v", full.AcceptRate)
+	}
+	if none.MorphBytes != 0 || full.MorphBytes == 0 {
+		t.Fatal("morph byte accounting wrong")
+	}
+	if !(none.MeanCongr < partial.MeanCongr && partial.MeanCongr < full.MeanCongr) {
+		t.Fatal("congruence not monotone")
+	}
+}
+
+func TestE8CommunityShape(t *testing.T) {
+	r := RunE8(42)
+	if r.RoundsToExclude <= 0 {
+		t.Fatalf("unfair ships never excluded: %+v", r)
+	}
+	if r.FalseExclusions != 0 {
+		t.Fatalf("fair ships excluded: %d", r.FalseExclusions)
+	}
+	if r.Clusters < 2 {
+		t.Fatalf("no cluster structure: %d", r.Clusters)
+	}
+	if r.Repaired != r.Killed {
+		t.Fatalf("repair incomplete: %d of %d", r.Repaired, r.Killed)
+	}
+}
+
+func TestE9AblationShape(t *testing.T) {
+	r := RunE9(42)
+	if len(r.Rows) != 11 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Congestion loss is monotone non-increasing as dimensions stack.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].LossPct > r.Rows[i-1].LossPct+1e-9 {
+			t.Fatalf("loss rose at dim %d: %v -> %v", i, r.Rows[i-1].LossPct, r.Rows[i].LossPct)
+		}
+	}
+	if r.Rows[0].LossPct < 30 {
+		t.Fatalf("baseline not congested: %v%%", r.Rows[0].LossPct)
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.LossPct > 1 {
+		t.Fatalf("full feedback still lossy: %v%%", last.LossPct)
+	}
+	if last.ResidualPct != 0 {
+		t.Fatalf("datalink FEC did not clear residual loss: %v", last.ResidualPct)
+	}
+	// Full stack delivers more user value than the congested baseline.
+	if last.ValueMB <= r.Rows[0].ValueMB {
+		t.Fatalf("value did not improve: %v vs %v", last.ValueMB, r.Rows[0].ValueMB)
+	}
+}
+
+func TestE10LifetimeShape(t *testing.T) {
+	r := RunE10(42)
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		if math.Abs(row.PredictedLifetime-row.MeasuredLifetime) > 0.2 {
+			t.Fatalf("lifetime law broken at threshold %v: %v vs %v",
+				row.Threshold, row.PredictedLifetime, row.MeasuredLifetime)
+		}
+		// Lower thresholds mean longer lives.
+		if i > 0 && row.MeasuredLifetime >= r.Rows[i-1].MeasuredLifetime {
+			t.Fatal("lifetime not monotone in threshold")
+		}
+		if row.SurvivedNoExch {
+			t.Fatal("function outlived its facts without exchange")
+		}
+	}
+	// Exchange prolongs life at the lower thresholds.
+	if !r.Rows[0].SurvivedExch || !r.Rows[1].SurvivedExch {
+		t.Fatal("quantum exchange did not prolong function life")
+	}
+	if r.Emerged < 1 {
+		t.Fatal("no resonant function emerged")
+	}
+}
+
+func TestE11VerificationShape(t *testing.T) {
+	r := RunE11(42)
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows[:5] {
+		if !row.SafetyOK || !row.LivenessOK {
+			t.Fatalf("protocol not bug-free at N=%d B=%d", row.Nodes, row.Budget)
+		}
+	}
+	// State space grows with model size.
+	if r.Rows[4].States <= r.Rows[0].States {
+		t.Fatal("state counts not growing")
+	}
+	// The injected bug is caught: the checker is not vacuously happy.
+	if r.Rows[5].SafetyOK {
+		t.Fatal("checker blessed the buggy variant")
+	}
+}
+
+func TestE12RoleShape(t *testing.T) {
+	r := RunE12(42)
+	if len(r.Rows) != 14 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	ratio := map[string]float64{}
+	for _, row := range r.Rows {
+		ratio[row.Role.String()] = row.Ratio
+	}
+	if !(ratio["fusion"] < 1) {
+		t.Fatalf("fusion ratio %v", ratio["fusion"])
+	}
+	if !(ratio["fission"] > 1) {
+		t.Fatalf("fission ratio %v", ratio["fission"])
+	}
+	if !(ratio["filtering"] < 1) {
+		t.Fatalf("filtering ratio %v", ratio["filtering"])
+	}
+	if !(ratio["transcoding"] < 1) {
+		t.Fatalf("transcoding ratio %v", ratio["transcoding"])
+	}
+	if !(ratio["boosting"] > 1) {
+		t.Fatalf("boosting ratio %v", ratio["boosting"])
+	}
+	if !(ratio["propagation"] > 1) {
+		t.Fatalf("propagation ratio %v", ratio["propagation"])
+	}
+	if ratio["next-step"] != 1 || ratio["replication"] != 1 {
+		t.Fatal("pass-through roles altered bytes")
+	}
+}
+
+func TestExperimentTablesRender(t *testing.T) {
+	// Every table must render with its title and at least one data row.
+	tables := []*Table{
+		RunE1(7).Table(), RunE2(7).Table(), RunE3(7).Table(), RunE4(7).Table(),
+		RunE5(7).Table(), RunE6(7).Table(), RunE7(7).Table(), RunE8(7).Table(),
+		RunE9(7).Table(), RunE10(7).Table(), RunE11(7).Table(), RunE12(7).Table(),
+	}
+	for i, tb := range tables {
+		if tb.NumRows() == 0 {
+			t.Fatalf("table E%d empty", i+1)
+		}
+		if len(tb.String()) == 0 || len(tb.CSV()) == 0 {
+			t.Fatalf("table E%d failed to render", i+1)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package cluster implements the Self-Reference Principle's community
+// layer: ships display their architecture to each other, organize
+// themselves into clusters based on feedback, and "are required to be
+// fair and cooperative w.r.t. the information they display to the
+// external world; otherwise they are excluded from the community."
+//
+// The community maintains a reputation per ship from gossip-round
+// verification of self-descriptions, excludes persistent misreporters,
+// forms clusters by structural congruence, and repairs ship death by
+// genome replication (the autopoietic survival mechanism).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"viator/internal/kq"
+	"viator/internal/ployon"
+	"viator/internal/ship"
+	"viator/internal/shuttle"
+	"viator/internal/sim"
+)
+
+// Member is one ship's standing in the community.
+type Member struct {
+	Ship       *ship.Ship
+	Reputation float64
+	Excluded   bool
+	ClusterID  int // -1 when unassigned
+}
+
+// Config tunes community dynamics.
+type Config struct {
+	// InitialReputation is a new member's starting score.
+	InitialReputation float64
+	// TruthReward / Liepenalty adjust reputation per verified probe.
+	TruthReward float64
+	LiePenalty  float64
+	// ExcludeBelow is the exclusion threshold.
+	ExcludeBelow float64
+	// ProbesPerRound is how many random peers each member verifies per
+	// gossip round.
+	ProbesPerRound int
+	// ClusterCongruence is the minimum shape congruence for two ships to
+	// share a cluster.
+	ClusterCongruence float64
+}
+
+// DefaultConfig returns the parameters used by the SRP experiments.
+func DefaultConfig() Config {
+	return Config{
+		InitialReputation: 1.0,
+		TruthReward:       0.02,
+		LiePenalty:        0.25,
+		ExcludeBelow:      0.3,
+		ProbesPerRound:    2,
+		ClusterCongruence: 0.75,
+	}
+}
+
+// Community is the self-organizing ship collective.
+type Community struct {
+	cfg     Config
+	members map[ployon.ID]*Member
+	order   []ployon.ID
+	rng     *sim.RNG
+
+	// Probes / Lies count verification outcomes; Repairs counts genome
+	// resurrections.
+	Probes  uint64
+	Lies    uint64
+	Repairs uint64
+}
+
+// Community errors.
+var (
+	ErrUnknown = errors.New("cluster: unknown ship")
+	ErrNoDonor = errors.New("cluster: no live congruent donor for repair")
+)
+
+// New creates an empty community.
+func New(cfg Config, rng *sim.RNG) *Community {
+	return &Community{cfg: cfg, members: make(map[ployon.ID]*Member), rng: rng}
+}
+
+// Add enrolls a ship with the initial reputation.
+func (c *Community) Add(s *ship.Ship) {
+	if _, dup := c.members[s.ID]; dup {
+		return
+	}
+	c.members[s.ID] = &Member{Ship: s, Reputation: c.cfg.InitialReputation, ClusterID: -1}
+	c.order = append(c.order, s.ID)
+}
+
+// Member returns a ship's standing.
+func (c *Community) Member(id ployon.ID) (*Member, bool) {
+	m, ok := c.members[id]
+	return m, ok
+}
+
+// Size returns the number of enrolled ships (including excluded/dead).
+func (c *Community) Size() int { return len(c.members) }
+
+// active lists non-excluded, alive members in enrollment order.
+func (c *Community) active() []*Member {
+	var out []*Member
+	for _, id := range c.order {
+		m := c.members[id]
+		if !m.Excluded && m.Ship.State() == ship.Alive {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ActiveIDs returns non-excluded alive ship ids in enrollment order.
+func (c *Community) ActiveIDs() []ployon.ID {
+	var out []ployon.ID
+	for _, m := range c.active() {
+		out = append(out, m.Ship.ID)
+	}
+	return out
+}
+
+// ExcludedIDs returns the ids excluded so far, sorted.
+func (c *Community) ExcludedIDs() []ployon.ID {
+	var out []ployon.ID
+	for id, m := range c.members {
+		if m.Excluded {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GossipRound has every active member verify ProbesPerRound random peers:
+// it asks for the peer's self-description and checks the displayed modal
+// role against the peer's observable behaviour. Misreports cost
+// reputation; sustained lying leads to exclusion.
+func (c *Community) GossipRound() {
+	act := c.active()
+	if len(act) < 2 {
+		return
+	}
+	for _, prober := range act {
+		for p := 0; p < c.cfg.ProbesPerRound; p++ {
+			peer := act[c.rng.Intn(len(act))]
+			if peer == prober {
+				continue
+			}
+			c.Probes++
+			desc := peer.Ship.Describe()
+			truthful := len(desc.Roles) > 0 && desc.Roles[0] == peer.Ship.ModalRole().String()
+			if truthful {
+				peer.Reputation += c.cfg.TruthReward
+				if peer.Reputation > 1 {
+					peer.Reputation = 1
+				}
+			} else {
+				c.Lies++
+				peer.Reputation -= c.cfg.LiePenalty
+				if peer.Reputation < c.cfg.ExcludeBelow {
+					peer.Excluded = true
+					peer.ClusterID = -1
+				}
+			}
+		}
+	}
+}
+
+// FormClusters greedily groups active members by shape congruence: each
+// ship joins the first cluster whose seed it is congruent with, otherwise
+// it seeds a new cluster. It returns the number of clusters formed.
+func (c *Community) FormClusters() int {
+	act := c.active()
+	var seeds []*Member
+	for _, m := range act {
+		m.ClusterID = -1
+		placed := false
+		for ci, seed := range seeds {
+			if ployon.Congruence(m.Ship.Shape, seed.Ship.Shape) >= c.cfg.ClusterCongruence {
+				m.ClusterID = ci
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			m.ClusterID = len(seeds)
+			seeds = append(seeds, m)
+		}
+	}
+	return len(seeds)
+}
+
+// Clusters returns cluster id → member ship ids (sorted), active only.
+func (c *Community) Clusters() map[int][]ployon.ID {
+	out := make(map[int][]ployon.ID)
+	for _, m := range c.active() {
+		if m.ClusterID >= 0 {
+			out[m.ClusterID] = append(out[m.ClusterID], m.Ship.ID)
+		}
+	}
+	for _, ids := range out {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	return out
+}
+
+// Repair resurrects a dead member by node genesis: a live fair member of
+// the same class emits its genome, a fresh ship is born with the dead
+// ship's identity slot (new id), and the genome is docked into it. This
+// is the "reproducing its own elements ... even in spite of such
+// interventions" property of the autopoietic system.
+func (c *Community) Repair(deadID ployon.ID, newID ployon.ID, now float64) (*ship.Ship, error) {
+	dead, ok := c.members[deadID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknown, deadID)
+	}
+	if dead.Ship.State() != ship.Dead {
+		return nil, fmt.Errorf("cluster: ship %d is not dead", deadID)
+	}
+	// Find a live, fair, same-class donor.
+	var donor *Member
+	for _, m := range c.active() {
+		if m.Ship.Fair() && m.Ship.Class == dead.Ship.Class {
+			donor = m
+			break
+		}
+	}
+	if donor == nil {
+		return nil, ErrNoDonor
+	}
+	genome, err := donor.Ship.EmitGenome(now)
+	if err != nil {
+		return nil, err
+	}
+	cfg := dead.Ship.Config()
+	cfg.ID = newID
+	reborn := ship.New(cfg)
+	if err := reborn.Birth(); err != nil {
+		return nil, err
+	}
+	sh := shuttle.New(newID<<8, shuttle.Gene, int32(donor.Ship.ID), int32(newID), cfg.Class)
+	sh.Shape = reborn.Shape // genesis shuttles are born congruent
+	sh.Genome = genome.Encode()
+	if _, err := reborn.Dock(sh, now); err != nil {
+		return nil, err
+	}
+	c.Add(reborn)
+	c.Repairs++
+	return reborn, nil
+}
+
+// KnowledgeCoupling measures the structural coupling of two members as
+// the Jaccard similarity of their alive fact sets — the paper's
+// "structure-determined engagement of a given entity with another".
+func KnowledgeCoupling(a, b *ship.Ship, now float64) float64 {
+	fa := a.KB.Facts(now)
+	fb := b.KB.Facts(now)
+	if len(fa) == 0 && len(fb) == 0 {
+		return 0
+	}
+	set := make(map[kq.FactID]bool, len(fa))
+	for _, f := range fa {
+		set[f] = true
+	}
+	inter := 0
+	for _, f := range fb {
+		if set[f] {
+			inter++
+		}
+	}
+	union := len(fa) + len(fb) - inter
+	return float64(inter) / float64(union)
+}

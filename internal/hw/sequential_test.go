@@ -1,0 +1,146 @@
+package hw
+
+import "testing"
+
+func TestCounterCountsWhileEnabled(t *testing.T) {
+	s, err := BuildCounter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if _, err := s.Clock([]bool{true}); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Value(); got != uint64(i) {
+			t.Fatalf("after %d clocks value = %d", i, got)
+		}
+	}
+	if s.Cycles != 10 {
+		t.Fatalf("cycles = %d", s.Cycles)
+	}
+}
+
+func TestCounterHoldsWhileDisabled(t *testing.T) {
+	s, _ := BuildCounter(3)
+	s.Clock([]bool{true})
+	s.Clock([]bool{true})
+	for i := 0; i < 5; i++ {
+		s.Clock([]bool{false})
+	}
+	if s.Value() != 2 {
+		t.Fatalf("disabled counter moved: %d", s.Value())
+	}
+}
+
+func TestCounterWrapsAtWidth(t *testing.T) {
+	s, _ := BuildCounter(3)
+	for i := 0; i < 8; i++ {
+		s.Clock([]bool{true})
+	}
+	if s.Value() != 0 {
+		t.Fatalf("3-bit counter did not wrap: %d", s.Value())
+	}
+	s.Clock([]bool{true})
+	if s.Value() != 1 {
+		t.Fatalf("post-wrap count = %d", s.Value())
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	s, _ := BuildCounter(4)
+	for i := 0; i < 5; i++ {
+		s.Clock([]bool{true})
+	}
+	s.Reset()
+	if s.Value() != 0 || s.Cycles != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestPeekDoesNotClock(t *testing.T) {
+	s, _ := BuildCounter(4)
+	s.Clock([]bool{true})
+	outs, err := s.Peek([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output bit 0 reflects register 0 (currently 1).
+	if !outs[0] {
+		t.Fatal("peek outputs wrong")
+	}
+	if s.Value() != 1 {
+		t.Fatal("peek advanced state")
+	}
+}
+
+func TestShiftRegister(t *testing.T) {
+	// Register r's next state = register r-1; register 0 loads pin 0.
+	const n = 4
+	s := NewSequential(1, n, 4)
+	f := s.Fabric()
+	// Buffer cells not needed: SetNext can tap pins directly.
+	if err := s.SetNext(0, 0); err != nil { // reg0 <- input pin
+		t.Fatal(err)
+	}
+	for r := 1; r < n; r++ {
+		if err := s.SetNext(r, 1+(r-1)); err != nil { // regr <- reg(r-1) pin
+			t.Fatal(err)
+		}
+	}
+	if err := f.SetOutputs([]int{1 + n - 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Shift in 1,0,1,1 and read it out 4 clocks later.
+	pattern := []bool{true, false, true, true}
+	var got []bool
+	for i := 0; i < 2*n; i++ {
+		in := false
+		if i < len(pattern) {
+			in = pattern[i]
+		}
+		outs, err := s.Clock([]bool{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= n {
+			got = append(got, outs[0])
+		}
+	}
+	for i := range pattern {
+		if got[i] != pattern[i] {
+			t.Fatalf("shifted pattern %v, got %v", pattern, got)
+		}
+	}
+}
+
+func TestSequentialConfigErrors(t *testing.T) {
+	s := NewSequential(2, 2, 4)
+	if err := s.SetNext(5, 0); err == nil {
+		t.Fatal("bad register accepted")
+	}
+	if err := s.SetNext(0, 999); err == nil {
+		t.Fatal("bad signal accepted")
+	}
+	if _, err := s.Clock([]bool{true}); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+func TestSequentialReconfigurableAtRuntime(t *testing.T) {
+	// The 3G property extends to state machines: rewire a counter into a
+	// gated toggle mid-run.
+	s, _ := BuildCounter(2)
+	s.Clock([]bool{true})
+	s.Clock([]bool{true})
+	if s.Value() != 2 {
+		t.Fatalf("value = %d", s.Value())
+	}
+	// Rewire bit 1's next-state to follow bit 0 (making it a shift).
+	if err := s.SetNext(1, 1); err != nil { // reg1 <- reg0 pin (signal 1)
+		t.Fatal(err)
+	}
+	s.Clock([]bool{false}) // reg0 xor 0 = reg0; reg1 <- reg0
+	if s.Reg(1) != s.Reg(0) {
+		t.Fatal("rewired register did not follow")
+	}
+}

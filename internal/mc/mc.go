@@ -1,0 +1,256 @@
+// Package mc is an explicit-state model checker in the TLC tradition: it
+// exhaustively explores the reachable state graph of a finite transition
+// system via breadth-first search, checking named invariants on every
+// state, detecting deadlocks, and verifying leads-to (eventuality)
+// properties by cycle analysis on the ¬goal subgraph.
+//
+// The paper's outlook reports verifying "a generic adaptive routing
+// protocol for active ad-hoc wireless networks" with TLA+/TLC; package
+// spec expresses that protocol as a System for this checker, and
+// experiment E11 reproduces the bug-free verification with state counts.
+package mc
+
+import (
+	"fmt"
+)
+
+// System is a finite transition system over a comparable state type.
+type System[S comparable] struct {
+	// Init enumerates the initial states.
+	Init func() []S
+	// Next enumerates the successor states of s.
+	Next func(s S) []S
+	// Invariants are named safety predicates checked on every state.
+	Invariants []Invariant[S]
+}
+
+// Invariant is a named safety predicate.
+type Invariant[S comparable] struct {
+	Name string
+	Pred func(S) bool
+}
+
+// Violation records an invariant failure with a shortest counterexample.
+type Violation[S comparable] struct {
+	Invariant string
+	State     S
+	Trace     []S // Init → … → State along BFS tree (shortest)
+}
+
+// Result summarizes one checking run.
+type Result[S comparable] struct {
+	States      int
+	Transitions int
+	Depth       int // BFS diameter reached
+	Deadlocks   []S
+	Violations  []Violation[S]
+	// Truncated reports that the MaxStates bound stopped exploration.
+	Truncated bool
+}
+
+// OK reports a clean run: no violations, no deadlocks, not truncated.
+func (r *Result[S]) OK() bool {
+	return len(r.Violations) == 0 && len(r.Deadlocks) == 0 && !r.Truncated
+}
+
+// String gives the TLC-style one-line summary.
+func (r *Result[S]) String() string {
+	return fmt.Sprintf("mc: %d states, %d transitions, depth %d, %d violations, %d deadlocks",
+		r.States, r.Transitions, r.Depth, len(r.Violations), len(r.Deadlocks))
+}
+
+// Options bounds a run.
+type Options struct {
+	// MaxStates aborts exploration beyond this many distinct states
+	// (0 = unbounded).
+	MaxStates int
+	// IgnoreDeadlocks treats states without successors as final rather
+	// than erroneous (for systems with intentional quiescence).
+	IgnoreDeadlocks bool
+	// StopAtFirstViolation ends the run at the first invariant failure.
+	StopAtFirstViolation bool
+}
+
+// Check explores the reachable states of sys breadth-first.
+func Check[S comparable](sys System[S], opts Options) *Result[S] {
+	res := &Result[S]{}
+	parent := make(map[S]S)
+	depth := make(map[S]int)
+	seen := make(map[S]bool)
+	var queue []S
+
+	trace := func(s S) []S {
+		var rev []S
+		cur := s
+		for {
+			rev = append(rev, cur)
+			p, ok := parent[cur]
+			if !ok {
+				break
+			}
+			cur = p
+		}
+		out := make([]S, len(rev))
+		for i := range rev {
+			out[i] = rev[len(rev)-1-i]
+		}
+		return out
+	}
+
+	checkInvariants := func(s S) bool {
+		for _, inv := range sys.Invariants {
+			if !inv.Pred(s) {
+				res.Violations = append(res.Violations, Violation[S]{
+					Invariant: inv.Name, State: s, Trace: trace(s),
+				})
+				if opts.StopAtFirstViolation {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for _, s := range sys.Init() {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		depth[s] = 0
+		queue = append(queue, s)
+		res.States++
+		if !checkInvariants(s) {
+			return res
+		}
+	}
+
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if depth[s] > res.Depth {
+			res.Depth = depth[s]
+		}
+		succs := sys.Next(s)
+		if len(succs) == 0 && !opts.IgnoreDeadlocks {
+			res.Deadlocks = append(res.Deadlocks, s)
+		}
+		for _, t := range succs {
+			res.Transitions++
+			if seen[t] {
+				continue
+			}
+			if opts.MaxStates > 0 && res.States >= opts.MaxStates {
+				res.Truncated = true
+				return res
+			}
+			seen[t] = true
+			parent[t] = s
+			depth[t] = depth[s] + 1
+			res.States++
+			queue = append(queue, t)
+			if !checkInvariants(t) {
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// LeadsToResult reports an eventuality check.
+type LeadsToResult[S comparable] struct {
+	// Holds is true when every reachable p-state is guaranteed to reach a
+	// q-state on all execution paths.
+	Holds bool
+	// Witness is a p-state from which the system can avoid q forever
+	// (a lasso start or a ¬q deadlock), when Holds is false.
+	Witness S
+	// Reason distinguishes "cycle" from "deadlock" counterexamples.
+	Reason string
+	// Checked counts reachable p-states examined.
+	Checked int
+}
+
+// LeadsTo verifies p ~> q over the reachable graph of sys: from every
+// reachable state satisfying p, all maximal paths must reach a state
+// satisfying q. A counterexample is either a reachable-from-p cycle
+// avoiding q, or a ¬q deadlock reachable from p while avoiding q.
+func LeadsTo[S comparable](sys System[S], p, q func(S) bool, maxStates int) *LeadsToResult[S] {
+	// First collect the reachable state set.
+	seen := make(map[S]bool)
+	var order []S
+	var queue []S
+	for _, s := range sys.Init() {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+			order = append(order, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range sys.Next(s) {
+			if !seen[t] {
+				if maxStates > 0 && len(seen) >= maxStates {
+					return &LeadsToResult[S]{Holds: false, Witness: s, Reason: "state bound exceeded"}
+				}
+				seen[t] = true
+				queue = append(queue, t)
+				order = append(order, t)
+			}
+		}
+	}
+	// canAvoid[s] = true when some maximal path from s avoids q forever.
+	// Computed as a greatest fixpoint on the ¬q subgraph: s avoids q if
+	// ¬q(s) and (s has no successors, or some successor avoids q, or s is
+	// on a ¬q cycle). Iterate: start assuming every ¬q state can avoid,
+	// then remove states all of whose successors are q or cannot avoid
+	// AND that have at least one successor (deadlock ¬q states keep
+	// avoiding — they never reach q).
+	avoid := make(map[S]bool)
+	for _, s := range order {
+		if !q(s) {
+			avoid[s] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range order {
+			if !avoid[s] {
+				continue
+			}
+			succs := sys.Next(s)
+			if len(succs) == 0 {
+				continue // ¬q deadlock: truly avoids q forever
+			}
+			keep := false
+			for _, t := range succs {
+				if avoid[t] {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				delete(avoid, s)
+				changed = true
+			}
+		}
+	}
+	res := &LeadsToResult[S]{Holds: true}
+	for _, s := range order {
+		if !p(s) {
+			continue
+		}
+		res.Checked++
+		if q(s) {
+			continue
+		}
+		if avoid[s] {
+			res.Holds = false
+			res.Witness = s
+			res.Reason = "q-avoiding path (cycle or deadlock)"
+			return res
+		}
+	}
+	return res
+}

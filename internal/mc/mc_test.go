@@ -1,0 +1,262 @@
+package mc
+
+import (
+	"testing"
+)
+
+// counter: a simple bounded counter system.
+func counter(limit int) System[int] {
+	return System[int]{
+		Init: func() []int { return []int{0} },
+		Next: func(s int) []int {
+			if s >= limit {
+				return nil
+			}
+			return []int{s + 1}
+		},
+	}
+}
+
+func TestBFSExploration(t *testing.T) {
+	sys := counter(10)
+	res := Check(sys, Options{IgnoreDeadlocks: true})
+	if res.States != 11 || res.Transitions != 10 || res.Depth != 10 {
+		t.Fatalf("result = %v", res)
+	}
+	if !res.OK() {
+		t.Fatalf("clean system not OK: %v", res)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	res := Check(counter(3), Options{})
+	if len(res.Deadlocks) != 1 || res.Deadlocks[0] != 3 {
+		t.Fatalf("deadlocks = %v", res.Deadlocks)
+	}
+	if res.OK() {
+		t.Fatal("deadlocked system reported OK")
+	}
+}
+
+func TestInvariantViolationWithTrace(t *testing.T) {
+	sys := counter(10)
+	sys.Invariants = []Invariant[int]{{Name: "below5", Pred: func(s int) bool { return s < 5 }}}
+	res := Check(sys, Options{IgnoreDeadlocks: true, StopAtFirstViolation: true})
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	v := res.Violations[0]
+	if v.Invariant != "below5" || v.State != 5 {
+		t.Fatalf("violation = %+v", v)
+	}
+	// Shortest trace 0..5.
+	if len(v.Trace) != 6 || v.Trace[0] != 0 || v.Trace[5] != 5 {
+		t.Fatalf("trace = %v", v.Trace)
+	}
+}
+
+func TestMaxStatesTruncation(t *testing.T) {
+	res := Check(counter(1000000), Options{MaxStates: 100, IgnoreDeadlocks: true})
+	if !res.Truncated || res.States != 100 {
+		t.Fatalf("truncation: %v", res)
+	}
+	if res.OK() {
+		t.Fatal("truncated run reported OK")
+	}
+}
+
+// branching: a diamond with a branch factor, to test dedup.
+func TestStateDeduplication(t *testing.T) {
+	// States 0..9 where every state goes to (s+1)%10 and (s+2)%10:
+	// reachable set is exactly 10 states despite many paths.
+	sys := System[int]{
+		Init: func() []int { return []int{0} },
+		Next: func(s int) []int { return []int{(s + 1) % 10, (s + 2) % 10} },
+	}
+	res := Check(sys, Options{IgnoreDeadlocks: true})
+	if res.States != 10 {
+		t.Fatalf("states = %d", res.States)
+	}
+}
+
+func TestMultipleInitStates(t *testing.T) {
+	sys := System[int]{
+		Init: func() []int { return []int{0, 100, 100} }, // dup init
+		Next: func(s int) []int { return nil },
+	}
+	res := Check(sys, Options{IgnoreDeadlocks: true})
+	if res.States != 2 {
+		t.Fatalf("states = %d", res.States)
+	}
+}
+
+func TestLeadsToHolds(t *testing.T) {
+	// Counter reaches 5 from everywhere below.
+	sys := counter(5)
+	res := LeadsTo(sys,
+		func(s int) bool { return s == 0 },
+		func(s int) bool { return s == 5 }, 0)
+	if !res.Holds || res.Checked != 1 {
+		t.Fatalf("leads-to: %+v", res)
+	}
+}
+
+func TestLeadsToCycleCounterexample(t *testing.T) {
+	// 0 → 1 → 0 cycle that never reaches 2, plus 0 → 2 possible: some
+	// path avoids 2 forever, so 0 ~> 2 fails.
+	sys := System[int]{
+		Init: func() []int { return []int{0} },
+		Next: func(s int) []int {
+			switch s {
+			case 0:
+				return []int{1, 2}
+			case 1:
+				return []int{0}
+			default:
+				return []int{2} // absorbing
+			}
+		},
+	}
+	res := LeadsTo(sys,
+		func(s int) bool { return s == 0 },
+		func(s int) bool { return s == 2 }, 0)
+	if res.Holds {
+		t.Fatal("cycle not found")
+	}
+}
+
+func TestLeadsToDeadlockCounterexample(t *testing.T) {
+	// 0 → 1 (dead end, ¬q) and 0 → 2 (q): 0 ~> q fails via deadlock at 1.
+	sys := System[int]{
+		Init: func() []int { return []int{0} },
+		Next: func(s int) []int {
+			if s == 0 {
+				return []int{1, 2}
+			}
+			if s == 2 {
+				return []int{2}
+			}
+			return nil
+		},
+	}
+	res := LeadsTo(sys,
+		func(s int) bool { return s == 0 },
+		func(s int) bool { return s == 2 }, 0)
+	if res.Holds {
+		t.Fatal("deadlock escape not found")
+	}
+}
+
+func TestLeadsToBranchingHolds(t *testing.T) {
+	// All paths from 0 reach 3 in a DAG with branching.
+	sys := System[int]{
+		Init: func() []int { return []int{0} },
+		Next: func(s int) []int {
+			switch s {
+			case 0:
+				return []int{1, 2}
+			case 1, 2:
+				return []int{3}
+			default:
+				return []int{3}
+			}
+		},
+	}
+	res := LeadsTo(sys,
+		func(s int) bool { return s == 0 },
+		func(s int) bool { return s == 3 }, 0)
+	if !res.Holds {
+		t.Fatalf("DAG leads-to failed: %+v", res)
+	}
+}
+
+// A two-process mutual-exclusion style system exercising struct states.
+type mutexState struct {
+	PC0, PC1 int8 // 0 idle, 1 trying, 2 critical
+	Turn     int8
+}
+
+func mutexSystem() System[mutexState] {
+	step := func(s mutexState, proc int) []mutexState {
+		var pc *int8
+		var me int8
+		out := s
+		if proc == 0 {
+			pc = &out.PC0
+			me = 0
+		} else {
+			pc = &out.PC1
+			me = 1
+		}
+		cur := *pc
+		switch cur {
+		case 0:
+			*pc = 1
+			return []mutexState{out}
+		case 1:
+			if s.Turn == me {
+				*pc = 2
+				return []mutexState{out}
+			}
+			return nil
+		default: // leave critical, pass turn
+			*pc = 0
+			out.Turn = 1 - me
+			return []mutexState{out}
+		}
+	}
+	return System[mutexState]{
+		Init: func() []mutexState { return []mutexState{{Turn: 0}} },
+		Next: func(s mutexState) []mutexState {
+			var out []mutexState
+			out = append(out, step(s, 0)...)
+			out = append(out, step(s, 1)...)
+			return out
+		},
+		Invariants: []Invariant[mutexState]{{
+			Name: "mutual-exclusion",
+			Pred: func(s mutexState) bool { return !(s.PC0 == 2 && s.PC1 == 2) },
+		}},
+	}
+}
+
+func TestMutexSafetyHolds(t *testing.T) {
+	res := Check(mutexSystem(), Options{IgnoreDeadlocks: true})
+	if !res.OK() && len(res.Violations) > 0 {
+		t.Fatalf("mutex violated: %+v", res.Violations[0])
+	}
+	if res.States < 5 {
+		t.Fatalf("suspiciously few states: %d", res.States)
+	}
+}
+
+func TestMutexEventualEntryHoldsWithTurns(t *testing.T) {
+	// The turn-passing discipline forces alternation, so even without
+	// fairness a trying process eventually enters: trying ~> critical
+	// holds in this model.
+	res := LeadsTo(mutexSystem(),
+		func(s mutexState) bool { return s.PC0 == 1 && s.Turn == 1 },
+		func(s mutexState) bool { return s.PC0 == 2 }, 0)
+	if !res.Holds {
+		t.Fatalf("turn-based mutex starved: %+v", res)
+	}
+}
+
+func TestMutexStarvationWithStutter(t *testing.T) {
+	// Adding an explicit stutter action (a process may do nothing) breaks
+	// the eventuality: the checker must find the starvation loop.
+	base := mutexSystem()
+	sys := System[mutexState]{
+		Init:       base.Init,
+		Invariants: base.Invariants,
+		Next: func(s mutexState) []mutexState {
+			return append(base.Next(s), s) // stutter
+		},
+	}
+	res := LeadsTo(sys,
+		func(s mutexState) bool { return s.PC0 == 1 && s.Turn == 1 },
+		func(s mutexState) bool { return s.PC0 == 2 }, 0)
+	if res.Holds {
+		t.Fatal("stutter starvation loop not detected")
+	}
+}

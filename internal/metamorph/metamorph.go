@@ -1,0 +1,161 @@
+// Package metamorph implements the Pulsating Metamorphosis Principle's
+// two movement schemes (Definition 3.1): horizontal (inter-node)
+// wandering, where functions migrate between ships toward demand and the
+// ships specialize/aggregate into virtual outstanding networks
+// (Figure 3, "ex-pulsing"), and vertical (intra-node) wandering, where
+// ships under pressure spawn overlay roles inside themselves (Figure 4,
+// "in-pulsing"). Both pulses operate in parallel to realize the adaptive
+// virtual topology.
+package metamorph
+
+import (
+	"sort"
+
+	"viator/internal/roles"
+	"viator/internal/ship"
+	"viator/internal/stats"
+)
+
+// DemandFn reports the local demand for role k at ship index i — usually
+// derived from fact activations or traffic counters.
+type DemandFn func(i int, k roles.Kind) float64
+
+// Config tunes the pulse dynamics.
+type Config struct {
+	// Hysteresis is the relative advantage a competing role needs over
+	// the current one before a ship switches (prevents flapping).
+	Hysteresis float64
+	// CandidateRoles is the role set horizontal wandering chooses from.
+	CandidateRoles []roles.Kind
+}
+
+// DefaultConfig returns the pulse parameters of the figure experiments.
+func DefaultConfig() Config {
+	return Config{
+		Hysteresis: 1.2,
+		CandidateRoles: []roles.Kind{
+			roles.Fusion, roles.Fission, roles.Caching, roles.Delegation,
+			roles.Filtering, roles.Transcoding, roles.Boosting, roles.SecurityMgmt,
+		},
+	}
+}
+
+// Engine drives metamorphosis pulses over a ship population.
+type Engine struct {
+	cfg   Config
+	Ships []*ship.Ship
+
+	// Horizontal / Vertical count completed transitions.
+	Horizontal int
+	Vertical   int
+}
+
+// New creates an engine over the given ships.
+func New(cfg Config, ships []*ship.Ship) *Engine {
+	if len(cfg.CandidateRoles) == 0 {
+		panic("metamorph: no candidate roles")
+	}
+	return &Engine{cfg: cfg, Ships: ships}
+}
+
+// HorizontalPulse performs one inter-node wandering step: every alive
+// ship evaluates local demand across the candidate roles and switches its
+// modal function when another role's demand beats the current one by the
+// hysteresis factor. It returns the number of role migrations and the
+// total reconfiguration latency incurred.
+func (e *Engine) HorizontalPulse(demand DemandFn) (migrations int, latency float64) {
+	for i, s := range e.Ships {
+		if s.State() != ship.Alive {
+			continue
+		}
+		cur := s.ModalRole()
+		curDemand := demand(i, cur)
+		best := cur
+		bestDemand := curDemand
+		for _, k := range e.cfg.CandidateRoles {
+			if d := demand(i, k); d > bestDemand {
+				best = k
+				bestDemand = d
+			}
+		}
+		if best == cur {
+			continue
+		}
+		if curDemand > 0 && bestDemand < curDemand*e.cfg.Hysteresis {
+			continue // not enough advantage to move
+		}
+		lat, err := s.SetModalRole(best)
+		if err != nil {
+			continue
+		}
+		migrations++
+		latency += lat
+	}
+	e.Horizontal += migrations
+	return migrations, latency
+}
+
+// PressureFn reports the load pressure at ship index i in [0,∞).
+type PressureFn func(i int) float64
+
+// VerticalPulse performs one intra-node wandering step: ships whose
+// pressure exceeds high spawn an overlay (install the auxiliary role
+// their Next-Step switch stores, defaulting to Combining), and ships
+// below low tear their overlays down. It returns (spawned, torndown).
+func (e *Engine) VerticalPulse(pressure PressureFn, high, low float64) (spawned, torndown int) {
+	for i, s := range e.Ships {
+		if s.State() != ship.Alive {
+			continue
+		}
+		p := pressure(i)
+		if p > high {
+			k, ok := s.NextStep().Next()
+			if !ok {
+				k = roles.Combining
+			}
+			if len(s.AuxRoles()) == 0 {
+				if err := s.InstallAux(k); err == nil {
+					spawned++
+				}
+			}
+		} else if p < low {
+			for _, k := range s.AuxRoles() {
+				if err := s.RemoveAux(k); err == nil {
+					torndown++
+				}
+			}
+		}
+	}
+	e.Vertical += spawned + torndown
+	return spawned, torndown
+}
+
+// OutstandingNetworks groups alive ships by modal role: each group is one
+// "virtual outstanding network" of the same physical infrastructure
+// (Figure 3). Keys with no ships are absent.
+func OutstandingNetworks(ships []*ship.Ship) map[roles.Kind][]int {
+	out := make(map[roles.Kind][]int)
+	for i, s := range ships {
+		if s.State() != ship.Alive {
+			continue
+		}
+		out[s.ModalRole()] = append(out[s.ModalRole()], i)
+	}
+	for _, idx := range out {
+		sort.Ints(idx)
+	}
+	return out
+}
+
+// RoleEntropy quantifies the functional differentiation of the fleet in
+// bits — the measurable form of Figure 1's "different shapes of the
+// nodes". Zero means every ship plays the same role.
+func RoleEntropy(ships []*ship.Ship) float64 {
+	counts := make([]int, roles.NumKinds)
+	for _, s := range ships {
+		if s.State() == ship.Alive {
+			counts[s.ModalRole()]++
+		}
+	}
+	return stats.Entropy(counts)
+}

@@ -1,0 +1,246 @@
+// Package mobility implements node mobility models for ad-hoc Wandering
+// Network experiments: random waypoint, random walk and reference-point
+// group mobility, plus radio-range connectivity synthesis that rebuilds a
+// topology graph from current positions.
+//
+// The paper's ships are *mobile* active nodes; mobility is what turns the
+// routing problem adaptive. Models are deterministic given an RNG.
+package mobility
+
+import (
+	"math"
+
+	"viator/internal/sim"
+	"viator/internal/topo"
+)
+
+// Model advances a set of node positions through virtual time.
+type Model interface {
+	// Step advances all nodes by dt seconds and returns current positions.
+	Step(dt float64) []topo.Point
+	// Positions returns the current positions without advancing.
+	Positions() []topo.Point
+}
+
+// RandomWaypoint is the classic ad-hoc mobility model: each node picks a
+// uniform destination in the arena, moves toward it at a uniform speed in
+// [MinSpeed,MaxSpeed], pauses, then repeats.
+type RandomWaypoint struct {
+	Side               float64
+	MinSpeed, MaxSpeed float64
+	Pause              float64
+
+	rng   *sim.RNG
+	pos   []topo.Point
+	dst   []topo.Point
+	speed []float64
+	wait  []float64
+}
+
+// NewRandomWaypoint places n nodes uniformly in a Side×Side arena.
+func NewRandomWaypoint(n int, side, minSpeed, maxSpeed, pause float64, rng *sim.RNG) *RandomWaypoint {
+	m := &RandomWaypoint{
+		Side: side, MinSpeed: minSpeed, MaxSpeed: maxSpeed, Pause: pause,
+		rng:   rng,
+		pos:   make([]topo.Point, n),
+		dst:   make([]topo.Point, n),
+		speed: make([]float64, n),
+		wait:  make([]float64, n),
+	}
+	for i := range m.pos {
+		m.pos[i] = topo.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		m.pickDst(i)
+	}
+	return m
+}
+
+func (m *RandomWaypoint) pickDst(i int) {
+	m.dst[i] = topo.Point{X: m.rng.Float64() * m.Side, Y: m.rng.Float64() * m.Side}
+	m.speed[i] = m.MinSpeed + m.rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+}
+
+// Step advances every node by dt seconds.
+func (m *RandomWaypoint) Step(dt float64) []topo.Point {
+	for i := range m.pos {
+		remain := dt
+		for remain > 0 {
+			if m.wait[i] > 0 {
+				w := math.Min(m.wait[i], remain)
+				m.wait[i] -= w
+				remain -= w
+				continue
+			}
+			d := m.pos[i].Dist(m.dst[i])
+			if d < 1e-9 {
+				m.wait[i] = m.Pause
+				m.pickDst(i)
+				if m.Pause == 0 {
+					continue
+				}
+				continue
+			}
+			travel := m.speed[i] * remain
+			if travel >= d {
+				m.pos[i] = m.dst[i]
+				remain -= d / m.speed[i]
+				m.wait[i] = m.Pause
+				m.pickDst(i)
+			} else {
+				f := travel / d
+				m.pos[i].X += (m.dst[i].X - m.pos[i].X) * f
+				m.pos[i].Y += (m.dst[i].Y - m.pos[i].Y) * f
+				remain = 0
+			}
+		}
+	}
+	return m.pos
+}
+
+// Positions returns current positions without advancing time.
+func (m *RandomWaypoint) Positions() []topo.Point { return m.pos }
+
+// RandomWalk moves each node in a uniformly random direction at a fixed
+// speed, reflecting off arena walls. It produces less clustering bias than
+// random waypoint and is used for adversarial-mobility stress tests.
+type RandomWalk struct {
+	Side  float64
+	Speed float64
+	Turn  float64 // mean seconds between direction changes
+
+	rng *sim.RNG
+	pos []topo.Point
+	dir []float64 // heading in radians
+	til []float64 // time until next turn
+}
+
+// NewRandomWalk places n walkers uniformly with random headings.
+func NewRandomWalk(n int, side, speed, turn float64, rng *sim.RNG) *RandomWalk {
+	m := &RandomWalk{Side: side, Speed: speed, Turn: turn, rng: rng,
+		pos: make([]topo.Point, n), dir: make([]float64, n), til: make([]float64, n)}
+	for i := range m.pos {
+		m.pos[i] = topo.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		m.dir[i] = rng.Float64() * 2 * math.Pi
+		m.til[i] = rng.Exp(turn)
+	}
+	return m
+}
+
+// Step advances every walker by dt seconds.
+func (m *RandomWalk) Step(dt float64) []topo.Point {
+	for i := range m.pos {
+		remain := dt
+		for remain > 0 {
+			leg := math.Min(remain, m.til[i])
+			m.pos[i].X += math.Cos(m.dir[i]) * m.Speed * leg
+			m.pos[i].Y += math.Sin(m.dir[i]) * m.Speed * leg
+			// Reflect off walls.
+			if m.pos[i].X < 0 {
+				m.pos[i].X = -m.pos[i].X
+				m.dir[i] = math.Pi - m.dir[i]
+			}
+			if m.pos[i].X > m.Side {
+				m.pos[i].X = 2*m.Side - m.pos[i].X
+				m.dir[i] = math.Pi - m.dir[i]
+			}
+			if m.pos[i].Y < 0 {
+				m.pos[i].Y = -m.pos[i].Y
+				m.dir[i] = -m.dir[i]
+			}
+			if m.pos[i].Y > m.Side {
+				m.pos[i].Y = 2*m.Side - m.pos[i].Y
+				m.dir[i] = -m.dir[i]
+			}
+			m.til[i] -= leg
+			remain -= leg
+			if m.til[i] <= 0 {
+				m.dir[i] = m.rng.Float64() * 2 * math.Pi
+				m.til[i] = m.rng.Exp(m.Turn)
+			}
+		}
+	}
+	return m.pos
+}
+
+// Positions returns current positions without advancing time.
+func (m *RandomWalk) Positions() []topo.Point { return m.pos }
+
+// Group implements reference-point group mobility: a leader follows random
+// waypoint and members jitter around it. It models convoys of nomadic
+// users, the paper's delegation/unified-messaging scenario.
+type Group struct {
+	leader *RandomWaypoint
+	Radius float64
+	rng    *sim.RNG
+	n      int
+	off    []topo.Point
+	pos    []topo.Point
+}
+
+// NewGroup creates a group of n members around one leader.
+func NewGroup(n int, side, speed, radius float64, rng *sim.RNG) *Group {
+	g := &Group{
+		leader: NewRandomWaypoint(1, side, speed, speed, 0, rng),
+		Radius: radius, rng: rng, n: n,
+		off: make([]topo.Point, n),
+		pos: make([]topo.Point, n),
+	}
+	for i := range g.off {
+		g.off[i] = topo.Point{X: (rng.Float64()*2 - 1) * radius, Y: (rng.Float64()*2 - 1) * radius}
+	}
+	return g
+}
+
+// Step advances the leader and recomputes member positions with jitter.
+func (g *Group) Step(dt float64) []topo.Point {
+	lp := g.leader.Step(dt)[0]
+	for i := range g.pos {
+		jx := (g.rng.Float64()*2 - 1) * g.Radius * 0.1
+		jy := (g.rng.Float64()*2 - 1) * g.Radius * 0.1
+		g.pos[i] = topo.Point{X: lp.X + g.off[i].X + jx, Y: lp.Y + g.off[i].Y + jy}
+	}
+	return g.pos
+}
+
+// Positions returns current member positions.
+func (g *Group) Positions() []topo.Point { return g.pos }
+
+// Connectivity rebuilds radio-range links on g from the given positions:
+// existing links are torn down and pairs within radius are connected with
+// cost = distance. It returns the number of (directed) up links.
+func Connectivity(g *topo.Graph, pos []topo.Point, radius float64) int {
+	for i := 0; i < g.Links(); i++ {
+		g.SetUp(i, false)
+	}
+	up := 0
+	for i := 0; i < g.N(); i++ {
+		g.SetPos(topo.NodeID(i), pos[i])
+	}
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			d := pos[i].Dist(pos[j])
+			if d > radius {
+				continue
+			}
+			a, b := topo.NodeID(i), topo.NodeID(j)
+			reuseDirected(g, a, b, d)
+			reuseDirected(g, b, a, d)
+			up += 2
+		}
+	}
+	return up
+}
+
+// reuseDirected re-activates an existing down link a→b if present,
+// otherwise adds one, keeping the link table from growing without bound
+// under repeated connectivity refreshes.
+func reuseDirected(g *topo.Graph, a, b topo.NodeID, cost float64) {
+	for _, li := range g.AllLinks(a) {
+		l := g.Link(li)
+		if l.To == b {
+			g.SetCost(li, cost)
+			g.SetUp(li, true)
+			return
+		}
+	}
+	g.Connect(a, b, cost)
+}

@@ -1,0 +1,188 @@
+package mobility
+
+import (
+	"testing"
+	"testing/quick"
+
+	"viator/internal/sim"
+	"viator/internal/topo"
+)
+
+func inArena(pos []topo.Point, side float64) bool {
+	for _, p := range pos {
+		if p.X < -1e-9 || p.X > side+1e-9 || p.Y < -1e-9 || p.Y > side+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRandomWaypointStaysInArena(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		m := NewRandomWaypoint(10, 100, 1, 5, 0.5, sim.NewRNG(seed))
+		for i := 0; i < 50; i++ {
+			if !inArena(m.Step(1), 100) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWaypointMoves(t *testing.T) {
+	m := NewRandomWaypoint(5, 100, 2, 2, 0, sim.NewRNG(1))
+	before := append([]topo.Point(nil), m.Positions()...)
+	m.Step(10)
+	moved := 0
+	for i, p := range m.Positions() {
+		if p.Dist(before[i]) > 1 {
+			moved++
+		}
+	}
+	if moved < 4 {
+		t.Fatalf("only %d of 5 nodes moved", moved)
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	m := NewRandomWaypoint(8, 1000, 1, 3, 0, sim.NewRNG(2))
+	before := append([]topo.Point(nil), m.Positions()...)
+	const dt = 5.0
+	m.Step(dt)
+	for i, p := range m.Positions() {
+		if d := p.Dist(before[i]); d > 3*dt+1e-6 {
+			t.Fatalf("node %d moved %v > max speed*dt", i, d)
+		}
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	// With an enormous pause, a node that reaches its destination stops.
+	m := NewRandomWaypoint(1, 10, 100, 100, 1e9, sim.NewRNG(3))
+	m.Step(1) // at speed 100 in a 10x10 arena the waypoint is surely reached
+	p1 := m.Positions()[0]
+	m.Step(5)
+	p2 := m.Positions()[0]
+	if p1.Dist(p2) > 1e-9 {
+		t.Fatalf("node moved while paused: %v", p1.Dist(p2))
+	}
+}
+
+func TestRandomWalkStaysInArena(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		m := NewRandomWalk(10, 50, 4, 2, sim.NewRNG(seed))
+		for i := 0; i < 50; i++ {
+			if !inArena(m.Step(0.7), 50) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWalkCoversArena(t *testing.T) {
+	m := NewRandomWalk(1, 20, 5, 1, sim.NewRNG(7))
+	var minX, maxX = 1e18, -1e18
+	for i := 0; i < 2000; i++ {
+		p := m.Step(0.5)[0]
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+	}
+	if maxX-minX < 10 {
+		t.Fatalf("walker explored only %v of the arena width", maxX-minX)
+	}
+}
+
+func TestGroupCohesion(t *testing.T) {
+	g := NewGroup(6, 100, 3, 5, sim.NewRNG(4))
+	for i := 0; i < 30; i++ {
+		pos := g.Step(1)
+		// All members within ~2*radius of each other.
+		for a := 0; a < len(pos); a++ {
+			for b := a + 1; b < len(pos); b++ {
+				if pos[a].Dist(pos[b]) > 4*5 {
+					t.Fatalf("group dispersed: %v", pos[a].Dist(pos[b]))
+				}
+			}
+		}
+	}
+}
+
+func TestConnectivityRadius(t *testing.T) {
+	g := topo.New()
+	g.AddNodes(3)
+	pos := []topo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 10, Y: 0}}
+	up := Connectivity(g, pos, 2)
+	if up != 2 {
+		t.Fatalf("up links = %d, want 2", up)
+	}
+	if g.FindLink(0, 1) == -1 || g.FindLink(1, 0) == -1 {
+		t.Fatal("close pair not connected")
+	}
+	if g.FindLink(0, 2) != -1 {
+		t.Fatal("far pair connected")
+	}
+}
+
+func TestConnectivityReusesLinks(t *testing.T) {
+	g := topo.New()
+	g.AddNodes(2)
+	pos := []topo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	Connectivity(g, pos, 2)
+	n1 := g.Links()
+	// Move out of range and back; link table must not grow.
+	Connectivity(g, []topo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}}, 2)
+	if g.FindLink(0, 1) != -1 {
+		t.Fatal("out-of-range pair still linked")
+	}
+	Connectivity(g, pos, 2)
+	if g.Links() != n1 {
+		t.Fatalf("link table grew: %d -> %d", n1, g.Links())
+	}
+	if g.FindLink(0, 1) == -1 {
+		t.Fatal("link not restored")
+	}
+}
+
+func TestConnectivityUpdatesCost(t *testing.T) {
+	g := topo.New()
+	g.AddNodes(2)
+	Connectivity(g, []topo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}, 5)
+	li := g.FindLink(0, 1)
+	if g.Link(li).Cost != 1 {
+		t.Fatalf("cost = %v", g.Link(li).Cost)
+	}
+	Connectivity(g, []topo.Point{{X: 0, Y: 0}, {X: 3, Y: 0}}, 5)
+	if g.Link(li).Cost != 3 {
+		t.Fatalf("cost not refreshed: %v", g.Link(li).Cost)
+	}
+}
+
+func TestConnectivityDeterministicPartition(t *testing.T) {
+	// Mobility + connectivity must be reproducible per seed.
+	run := func() []int {
+		m := NewRandomWaypoint(12, 50, 1, 4, 0, sim.NewRNG(55))
+		g := topo.New()
+		g.AddNodes(12)
+		var comps []int
+		for i := 0; i < 20; i++ {
+			Connectivity(g, m.Step(1), 15)
+			comps = append(comps, len(g.Components()))
+		}
+		return comps
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic connectivity at step %d", i)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package netsim is the packet-level network substrate: store-and-forward
+// links with finite bandwidth, propagation delay, bounded output queues,
+// random loss and utilization accounting, driven by the sim kernel.
+//
+// Higher layers (ships, baselines, routing) sit on top via a receive
+// callback; netsim itself moves bytes and keeps honest queueing statistics,
+// which is what makes the feedback experiments (MFP) meaningful.
+package netsim
+
+import (
+	"fmt"
+
+	"viator/internal/sim"
+	"viator/internal/stats"
+	"viator/internal/topo"
+)
+
+// Packet is one transmissible unit. Payload carries higher-layer content
+// (shuttle frames, capsule bytes, media chunks) opaquely.
+type Packet struct {
+	ID      uint64
+	Src     topo.NodeID
+	Dst     topo.NodeID
+	Size    int // bytes on the wire
+	Class   string
+	TTL     int
+	Created sim.Time
+	Hops    int
+	Payload any
+}
+
+// LinkProps describes one link's transmission characteristics.
+type LinkProps struct {
+	Bandwidth float64 // bytes per second
+	Delay     float64 // propagation delay, seconds
+	QueueCap  int     // output queue capacity, bytes
+	LossProb  float64 // independent per-packet loss probability
+
+	// RED (random early detection) marks congestion before the queue is
+	// full: between REDMin and QueueCap bytes of occupancy, packets drop
+	// with probability rising linearly to REDMaxP. REDMin <= 0 disables
+	// early drop (plain tail drop).
+	REDMin  int
+	REDMaxP float64
+}
+
+// DefaultLinkProps is a 1 MB/s, 1 ms, 64 KB-queue lossless link.
+func DefaultLinkProps() LinkProps {
+	return LinkProps{Bandwidth: 1 << 20, Delay: 0.001, QueueCap: 64 << 10}
+}
+
+type linkState struct {
+	props    LinkProps
+	queue    []*Packet
+	qBytes   int
+	busy     bool
+	busyTime float64
+	lastIdle sim.Time
+	sent     uint64
+	dropped  uint64
+	bytes    uint64
+}
+
+// Net binds a kernel and a topology into a packet transport.
+type Net struct {
+	K *sim.Kernel
+	G *topo.Graph
+
+	links   []linkState
+	recv    func(at topo.NodeID, p *Packet)
+	nextID  uint64
+	C       *stats.Counter
+	Latency *stats.Summary
+
+	// Delivered counts packets handed to the receive callback; DroppedQ and
+	// DroppedLoss count queue-overflow and random-loss drops respectively;
+	// DroppedRED counts random-early-detection drops.
+	Delivered   uint64
+	DroppedQ    uint64
+	DroppedLoss uint64
+	DroppedTTL  uint64
+	DroppedRED  uint64
+}
+
+// New creates a transport over g with every link at DefaultLinkProps.
+func New(k *sim.Kernel, g *topo.Graph) *Net {
+	n := &Net{K: k, G: g, C: stats.NewCounter(), Latency: stats.NewSummary()}
+	n.syncLinks()
+	return n
+}
+
+// syncLinks grows the per-link state table to match the graph; topologies
+// may add links at runtime (mobility, metamorphosis).
+func (n *Net) syncLinks() {
+	for len(n.links) < n.G.Links() {
+		n.links = append(n.links, linkState{props: DefaultLinkProps()})
+	}
+}
+
+// SetLinkProps overrides the properties of link li.
+func (n *Net) SetLinkProps(li int, p LinkProps) {
+	n.syncLinks()
+	n.links[li].props = p
+}
+
+// SetAllLinkProps overrides every current link's properties.
+func (n *Net) SetAllLinkProps(p LinkProps) {
+	n.syncLinks()
+	for i := range n.links {
+		n.links[i].props = p
+	}
+}
+
+// LinkProps returns the properties of link li.
+func (n *Net) LinkProps(li int) LinkProps {
+	n.syncLinks()
+	return n.links[li].props
+}
+
+// OnReceive installs the upper-layer delivery callback.
+func (n *Net) OnReceive(fn func(at topo.NodeID, p *Packet)) { n.recv = fn }
+
+// NewPacket allocates a packet stamped with the current time and a fresh ID.
+func (n *Net) NewPacket(src, dst topo.NodeID, size int, class string, payload any) *Packet {
+	n.nextID++
+	return &Packet{
+		ID: n.nextID, Src: src, Dst: dst, Size: size, Class: class,
+		TTL: 64, Created: n.K.Now(), Payload: payload,
+	}
+}
+
+// Send transmits p over the first up link from→to. It returns false when
+// no such link exists or the packet was dropped at enqueue.
+func (n *Net) Send(from, to topo.NodeID, p *Packet) bool {
+	li := n.G.FindLink(from, to)
+	if li == -1 {
+		n.C.Inc("send.nolink", 1)
+		return false
+	}
+	return n.SendOnLink(li, p)
+}
+
+// SendOnLink enqueues p on link li. Queue overflow drops the packet.
+func (n *Net) SendOnLink(li int, p *Packet) bool {
+	n.syncLinks()
+	if p.TTL <= 0 {
+		n.DroppedTTL++
+		n.C.Inc("drop.ttl", 1)
+		return false
+	}
+	ls := &n.links[li]
+	if ls.qBytes+p.Size > ls.props.QueueCap && len(ls.queue) > 0 {
+		ls.dropped++
+		n.DroppedQ++
+		n.C.Inc("drop.queue", 1)
+		return false
+	}
+	if ls.props.REDMin > 0 && ls.qBytes > ls.props.REDMin {
+		frac := float64(ls.qBytes-ls.props.REDMin) / float64(ls.props.QueueCap-ls.props.REDMin)
+		if frac > 1 {
+			frac = 1
+		}
+		if n.K.Rand.Bool(frac * ls.props.REDMaxP) {
+			ls.dropped++
+			n.DroppedRED++
+			n.C.Inc("drop.red", 1)
+			return false
+		}
+	}
+	ls.queue = append(ls.queue, p)
+	ls.qBytes += p.Size
+	if !ls.busy {
+		n.startTx(li)
+	}
+	return true
+}
+
+func (n *Net) startTx(li int) {
+	ls := &n.links[li]
+	if len(ls.queue) == 0 {
+		ls.busy = false
+		return
+	}
+	ls.busy = true
+	p := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	ls.qBytes -= p.Size
+	txTime := float64(p.Size) / ls.props.Bandwidth
+	ls.busyTime += txTime
+	dst := n.G.Link(li).To
+	lost := n.K.Rand.Bool(ls.props.LossProb)
+	delay := ls.props.Delay
+	n.K.After(txTime, func() {
+		// Serialization done: link free for the next packet...
+		n.startTx(li)
+	})
+	n.K.After(txTime+delay, func() {
+		// ...and this packet arrives after propagation, unless lost.
+		if lost {
+			n.DroppedLoss++
+			n.C.Inc("drop.loss", 1)
+			return
+		}
+		ls.sent++
+		ls.bytes += uint64(p.Size)
+		p.Hops++
+		p.TTL--
+		n.Delivered++
+		if n.recv != nil {
+			n.recv(dst, p)
+		}
+	})
+}
+
+// Deliver records the end-to-end latency of a packet that reached its
+// final destination. Upper layers call it once per completed journey.
+func (n *Net) Deliver(p *Packet) {
+	n.Latency.Add(n.K.Now() - p.Created)
+	n.C.Inc("e2e.delivered", 1)
+	n.C.Inc("e2e.bytes", float64(p.Size))
+}
+
+// LinkStats summarizes one link's activity.
+type LinkStats struct {
+	Sent     uint64
+	Dropped  uint64
+	Bytes    uint64
+	BusyTime float64
+	Queued   int
+}
+
+// Stats returns activity counters for link li.
+func (n *Net) Stats(li int) LinkStats {
+	n.syncLinks()
+	ls := &n.links[li]
+	return LinkStats{Sent: ls.sent, Dropped: ls.dropped, Bytes: ls.bytes, BusyTime: ls.busyTime, Queued: ls.qBytes}
+}
+
+// Utilization returns link li's busy fraction over elapsed simulated time.
+func (n *Net) Utilization(li int) float64 {
+	if n.K.Now() == 0 {
+		return 0
+	}
+	n.syncLinks()
+	return n.links[li].busyTime / n.K.Now()
+}
+
+// TotalBytes returns bytes successfully carried across all links — the
+// backbone-load metric for the fusion/MFP experiments.
+func (n *Net) TotalBytes() uint64 {
+	var total uint64
+	n.syncLinks()
+	for i := range n.links {
+		total += n.links[i].bytes
+	}
+	return total
+}
+
+// String gives a quick transport digest.
+func (n *Net) String() string {
+	return fmt.Sprintf("netsim: delivered=%d dropQ=%d dropLoss=%d dropTTL=%d bytes=%d",
+		n.Delivered, n.DroppedQ, n.DroppedLoss, n.DroppedTTL, n.TotalBytes())
+}

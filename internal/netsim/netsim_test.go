@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"viator/internal/sim"
+	"viator/internal/topo"
+)
+
+func pair() (*sim.Kernel, *topo.Graph, *Net) {
+	k := sim.NewKernel(1)
+	g := topo.New()
+	g.AddNodes(2)
+	g.ConnectBoth(0, 1, 1)
+	return k, g, New(k, g)
+}
+
+func TestDeliveryAndTiming(t *testing.T) {
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1000, Delay: 0.5, QueueCap: 1 << 20})
+	var gotAt sim.Time
+	var got *Packet
+	n.OnReceive(func(at topo.NodeID, p *Packet) { gotAt = k.Now(); got = p })
+	p := n.NewPacket(0, 1, 500, "data", nil)
+	if !n.Send(0, 1, p) {
+		t.Fatal("send failed")
+	}
+	k.Run(10)
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	// 500 bytes at 1000 B/s = 0.5 s serialization + 0.5 s propagation.
+	if math.Abs(gotAt-1.0) > 1e-9 {
+		t.Fatalf("arrival at %v, want 1.0", gotAt)
+	}
+	if got.Hops != 1 || got.TTL != 63 {
+		t.Fatalf("hops=%d ttl=%d", got.Hops, got.TTL)
+	}
+}
+
+func TestSerializationQueueing(t *testing.T) {
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1000, Delay: 0, QueueCap: 1 << 20})
+	var arrivals []sim.Time
+	n.OnReceive(func(at topo.NodeID, p *Packet) { arrivals = append(arrivals, k.Now()) })
+	for i := 0; i < 3; i++ {
+		n.Send(0, 1, n.NewPacket(0, 1, 1000, "d", nil))
+	}
+	k.Run(10)
+	want := []sim.Time{1, 2, 3}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	for i := range want {
+		if math.Abs(arrivals[i]-want[i]) > 1e-9 {
+			t.Fatalf("arrivals = %v, want %v", arrivals, want)
+		}
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 100, Delay: 0, QueueCap: 250})
+	delivered := 0
+	n.OnReceive(func(at topo.NodeID, p *Packet) { delivered++ })
+	sent := 0
+	for i := 0; i < 10; i++ {
+		if n.Send(0, 1, n.NewPacket(0, 1, 100, "d", nil)) {
+			sent++
+		}
+	}
+	k.Run(100)
+	if n.DroppedQ == 0 {
+		t.Fatal("no queue drops despite tiny queue")
+	}
+	if delivered != sent {
+		t.Fatalf("delivered %d != accepted %d", delivered, sent)
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1e9, Delay: 0, QueueCap: 1 << 30, LossProb: 0.5})
+	delivered := 0
+	n.OnReceive(func(at topo.NodeID, p *Packet) { delivered++ })
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Send(0, 1, n.NewPacket(0, 1, 10, "d", nil))
+	}
+	k.Run(1000)
+	frac := float64(delivered) / total
+	if frac < 0.42 || frac > 0.58 {
+		t.Fatalf("delivered fraction %v with 50%% loss", frac)
+	}
+	if n.DroppedLoss != uint64(total-delivered) {
+		t.Fatalf("loss accounting: %d + %d != %d", delivered, n.DroppedLoss, total)
+	}
+}
+
+func TestTTLExpiredDrop(t *testing.T) {
+	k, _, n := pair()
+	p := n.NewPacket(0, 1, 10, "d", nil)
+	p.TTL = 0
+	if n.Send(0, 1, p) {
+		t.Fatal("expired packet accepted")
+	}
+	k.Run(1)
+	if n.DroppedTTL != 1 {
+		t.Fatalf("ttl drops = %d", n.DroppedTTL)
+	}
+}
+
+func TestNoLink(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := topo.New()
+	g.AddNodes(2)
+	n := New(k, g)
+	if n.Send(0, 1, n.NewPacket(0, 1, 10, "d", nil)) {
+		t.Fatal("send succeeded without a link")
+	}
+	if n.C.Get("send.nolink") != 1 {
+		t.Fatal("nolink not counted")
+	}
+}
+
+func TestUtilizationAndBytes(t *testing.T) {
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1000, Delay: 0, QueueCap: 1 << 20})
+	n.OnReceive(func(at topo.NodeID, p *Packet) {})
+	n.Send(0, 1, n.NewPacket(0, 1, 500, "d", nil)) // 0.5 s busy
+	k.Run(1)
+	if u := n.Utilization(0); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if n.TotalBytes() != 500 {
+		t.Fatalf("bytes = %d", n.TotalBytes())
+	}
+	st := n.Stats(0)
+	if st.Sent != 1 || st.Bytes != 500 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEndToEndLatencyRecording(t *testing.T) {
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1000, Delay: 0.25, QueueCap: 1 << 20})
+	n.OnReceive(func(at topo.NodeID, p *Packet) {
+		if at == p.Dst {
+			n.Deliver(p)
+		}
+	})
+	n.Send(0, 1, n.NewPacket(0, 1, 250, "d", nil))
+	k.Run(10)
+	if n.Latency.N() != 1 {
+		t.Fatal("latency not recorded")
+	}
+	if math.Abs(n.Latency.Mean()-0.5) > 1e-9 {
+		t.Fatalf("latency = %v", n.Latency.Mean())
+	}
+}
+
+func TestDynamicLinkGrowth(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := topo.New()
+	g.AddNodes(3)
+	g.ConnectBoth(0, 1, 1)
+	n := New(k, g)
+	got := 0
+	n.OnReceive(func(at topo.NodeID, p *Packet) { got++ })
+	// Add a link after the net exists (metamorphosis does this).
+	g.ConnectBoth(1, 2, 1)
+	if !n.Send(1, 2, n.NewPacket(1, 2, 10, "d", nil)) {
+		t.Fatal("send over late link failed")
+	}
+	k.Run(10)
+	if got != 1 {
+		t.Fatal("late link did not deliver")
+	}
+}
+
+func TestMultiHopForwardingChain(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := topo.Line(4)
+	n := New(k, g)
+	n.SetAllLinkProps(LinkProps{Bandwidth: 1e6, Delay: 0.001, QueueCap: 1 << 20})
+	delivered := false
+	n.OnReceive(func(at topo.NodeID, p *Packet) {
+		if at == p.Dst {
+			delivered = true
+			n.Deliver(p)
+			return
+		}
+		// naive forwarding along the line
+		n.Send(at, at+1, p)
+	})
+	n.Send(0, 1, n.NewPacket(0, 3, 100, "d", nil))
+	k.Run(10)
+	if !delivered {
+		t.Fatal("multi-hop packet lost")
+	}
+	if n.Latency.N() != 1 {
+		t.Fatal("latency missing")
+	}
+}
+
+func TestPacketIDsUnique(t *testing.T) {
+	_, _, n := pair()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		p := n.NewPacket(0, 1, 1, "d", nil)
+		if seen[p.ID] {
+			t.Fatal("duplicate packet ID")
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestREDEarlyDrop(t *testing.T) {
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{
+		Bandwidth: 100, Delay: 0, QueueCap: 10000,
+		REDMin: 1000, REDMaxP: 1.0,
+	})
+	n.OnReceive(func(at topo.NodeID, p *Packet) {})
+	// Flood: occupancy passes REDMin long before QueueCap, so RED drops
+	// appear while tail drops do not.
+	for i := 0; i < 50; i++ {
+		n.Send(0, 1, n.NewPacket(0, 1, 200, "d", nil))
+	}
+	k.Run(200)
+	if n.DroppedRED == 0 {
+		t.Fatal("no RED drops despite sustained overload")
+	}
+	if n.DroppedQ != 0 {
+		t.Fatalf("tail drops despite RED headroom: %d", n.DroppedQ)
+	}
+}
+
+func TestREDDisabledByDefault(t *testing.T) {
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 100, Delay: 0, QueueCap: 2000})
+	n.OnReceive(func(at topo.NodeID, p *Packet) {})
+	for i := 0; i < 50; i++ {
+		n.Send(0, 1, n.NewPacket(0, 1, 200, "d", nil))
+	}
+	k.Run(200)
+	if n.DroppedRED != 0 {
+		t.Fatal("RED active without configuration")
+	}
+	if n.DroppedQ == 0 {
+		t.Fatal("tail drop missing")
+	}
+}

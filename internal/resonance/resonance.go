@@ -1,0 +1,139 @@
+// Package resonance implements network resonance, "the leading WLI
+// characteristic": net functions that emerge on their own by getting in
+// touch with other net functions, facts, user interactions or other
+// transmitted information (Definition 3.4).
+//
+// The engine observes the alive fact sets of ships over time, tracks fact
+// co-occurrence, and when two facts resonate — co-occur far more often
+// than independence predicts — it synthesizes a new net function bound to
+// that fact constellation, without anyone having injected it. Emerged
+// constellations are the adaptive meta-policy material the paper calls a
+// "decision base or development program" for the network.
+package resonance
+
+import (
+	"fmt"
+	"sort"
+
+	"viator/internal/kq"
+)
+
+// Config tunes emergence sensitivity.
+type Config struct {
+	// MinSupport is the minimum number of co-observations before a pair
+	// is considered at all.
+	MinSupport int
+	// MinCorrelation is the minimum P(a,b)/min(P(a),P(b)) for emergence
+	// (confidence against the rarer fact).
+	MinCorrelation float64
+}
+
+// DefaultConfig returns the emergence parameters of experiment E10.
+func DefaultConfig() Config {
+	return Config{MinSupport: 5, MinCorrelation: 0.8}
+}
+
+type pair struct{ a, b kq.FactID }
+
+func mkPair(a, b kq.FactID) pair {
+	if b < a {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Engine accumulates fact co-occurrence and emerges resonant functions.
+type Engine struct {
+	cfg Config
+
+	observations int
+	factCount    map[kq.FactID]int
+	pairCount    map[pair]int
+	emerged      map[string]kq.NetFunction
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:       cfg,
+		factCount: make(map[kq.FactID]int),
+		pairCount: make(map[pair]int),
+		emerged:   make(map[string]kq.NetFunction),
+	}
+}
+
+// Observations returns how many snapshots have been folded in.
+func (e *Engine) Observations() int { return e.observations }
+
+// Observe folds in one ship's alive fact set at time now.
+func (e *Engine) Observe(kb *kq.Store, now float64) {
+	facts := kb.Facts(now)
+	e.ObserveFacts(facts)
+}
+
+// ObserveFacts folds in one alive-fact snapshot directly.
+func (e *Engine) ObserveFacts(facts []kq.FactID) {
+	e.observations++
+	for _, f := range facts {
+		e.factCount[f]++
+	}
+	for i := 0; i < len(facts); i++ {
+		for j := i + 1; j < len(facts); j++ {
+			e.pairCount[mkPair(facts[i], facts[j])]++
+		}
+	}
+}
+
+// Correlation returns the resonance score of a fact pair:
+// count(a,b) / min(count(a), count(b)); 0 when either is unseen.
+func (e *Engine) Correlation(a, b kq.FactID) float64 {
+	ca, cb := e.factCount[a], e.factCount[b]
+	if ca == 0 || cb == 0 {
+		return 0
+	}
+	minC := ca
+	if cb < minC {
+		minC = cb
+	}
+	return float64(e.pairCount[mkPair(a, b)]) / float64(minC)
+}
+
+// resonantName builds the deterministic name of an emerged function.
+func resonantName(p pair) string {
+	return fmt.Sprintf("resonant:%s+%s", p.a, p.b)
+}
+
+// Emerge scans the co-occurrence table and synthesizes new net functions
+// for every resonant pair not yet emerged. Returned functions are sorted
+// by name; repeated calls only return new emergences (the network keeps
+// what it has learned).
+func (e *Engine) Emerge() []kq.NetFunction {
+	var out []kq.NetFunction
+	for p, cnt := range e.pairCount {
+		if cnt < e.cfg.MinSupport {
+			continue
+		}
+		name := resonantName(p)
+		if _, done := e.emerged[name]; done {
+			continue
+		}
+		if e.Correlation(p.a, p.b) < e.cfg.MinCorrelation {
+			continue
+		}
+		nf := kq.NetFunction{Name: name, Requires: []kq.FactID{p.a, p.b}}
+		e.emerged[name] = nf
+		out = append(out, nf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Emerged returns all functions emerged so far, sorted by name.
+func (e *Engine) Emerged() []kq.NetFunction {
+	out := make([]kq.NetFunction, 0, len(e.emerged))
+	for _, nf := range e.emerged {
+		out = append(out, nf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

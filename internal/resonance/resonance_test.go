@@ -1,0 +1,155 @@
+package resonance
+
+import (
+	"strings"
+	"testing"
+
+	"viator/internal/kq"
+)
+
+func TestCorrelationBasics(t *testing.T) {
+	e := New(DefaultConfig())
+	if e.Correlation("a", "b") != 0 {
+		t.Fatal("unseen facts correlated")
+	}
+	for i := 0; i < 10; i++ {
+		e.ObserveFacts([]kq.FactID{"a", "b"})
+	}
+	if c := e.Correlation("a", "b"); c != 1 {
+		t.Fatalf("perfect co-occurrence correlation = %v", c)
+	}
+	if e.Observations() != 10 {
+		t.Fatalf("observations = %d", e.Observations())
+	}
+}
+
+func TestCorrelationAsymmetricSupport(t *testing.T) {
+	e := New(DefaultConfig())
+	// "a" appears everywhere, "b" appears with a half the time.
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			e.ObserveFacts([]kq.FactID{"a", "b"})
+		} else {
+			e.ObserveFacts([]kq.FactID{"a"})
+		}
+	}
+	// Against the rarer fact b: 5/5 = 1.
+	if c := e.Correlation("a", "b"); c != 1 {
+		t.Fatalf("correlation = %v", c)
+	}
+}
+
+func TestEmergenceRequiresSupportAndCorrelation(t *testing.T) {
+	cfg := Config{MinSupport: 5, MinCorrelation: 0.8}
+	e := New(cfg)
+	// Only 3 co-occurrences: below support.
+	for i := 0; i < 3; i++ {
+		e.ObserveFacts([]kq.FactID{"x", "y"})
+	}
+	if fns := e.Emerge(); len(fns) != 0 {
+		t.Fatalf("emerged below support: %v", fns)
+	}
+	for i := 0; i < 3; i++ {
+		e.ObserveFacts([]kq.FactID{"x", "y"})
+	}
+	fns := e.Emerge()
+	if len(fns) != 1 {
+		t.Fatalf("emerged = %v", fns)
+	}
+	if !strings.HasPrefix(fns[0].Name, "resonant:") || len(fns[0].Requires) != 2 {
+		t.Fatalf("function = %+v", fns[0])
+	}
+}
+
+func TestEmergenceIsOnce(t *testing.T) {
+	e := New(Config{MinSupport: 2, MinCorrelation: 0.5})
+	for i := 0; i < 5; i++ {
+		e.ObserveFacts([]kq.FactID{"p", "q"})
+	}
+	first := e.Emerge()
+	second := e.Emerge()
+	if len(first) != 1 || len(second) != 0 {
+		t.Fatalf("first=%d second=%d", len(first), len(second))
+	}
+	if len(e.Emerged()) != 1 {
+		t.Fatalf("emerged set = %v", e.Emerged())
+	}
+}
+
+func TestUncorrelatedFactsDoNotEmerge(t *testing.T) {
+	e := New(Config{MinSupport: 3, MinCorrelation: 0.8})
+	// a and b never co-occur.
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			e.ObserveFacts([]kq.FactID{"a", "c"})
+		} else {
+			e.ObserveFacts([]kq.FactID{"b", "d"})
+		}
+	}
+	for _, nf := range e.Emerge() {
+		for _, r := range nf.Requires {
+			if r == "a" {
+				for _, r2 := range nf.Requires {
+					if r2 == "b" {
+						t.Fatal("uncorrelated pair emerged")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEmergedFunctionLivesOnFacts(t *testing.T) {
+	// The emerged function must be a real NetFunction: alive exactly when
+	// its resonant facts are alive in a knowledge base.
+	e := New(Config{MinSupport: 2, MinCorrelation: 0.5})
+	for i := 0; i < 4; i++ {
+		e.ObserveFacts([]kq.FactID{"load", "video"})
+	}
+	fns := e.Emerge()
+	if len(fns) != 1 {
+		t.Fatalf("emerged = %v", fns)
+	}
+	nf := fns[0]
+	s := kq.NewStore(10, 0.5, 0)
+	if nf.Alive(s, 0) {
+		t.Fatal("alive without facts")
+	}
+	s.Observe("load", 5, 0)
+	s.Observe("video", 5, 0)
+	if !nf.Alive(s, 0) {
+		t.Fatal("dead with both facts")
+	}
+}
+
+func TestObserveReadsStore(t *testing.T) {
+	e := New(Config{MinSupport: 1, MinCorrelation: 0.5})
+	s := kq.NewStore(10, 0.5, 0)
+	s.Observe("a", 5, 0)
+	s.Observe("b", 5, 0)
+	s.Observe("dead", 0.1, 0) // below threshold: not alive
+	e.Observe(s, 0)
+	if e.Correlation("a", "b") != 1 {
+		t.Fatal("alive facts not co-observed")
+	}
+	if e.Correlation("a", "dead") != 0 {
+		t.Fatal("sub-threshold fact observed")
+	}
+}
+
+func TestDeterministicEmergeOrder(t *testing.T) {
+	mk := func() []kq.NetFunction {
+		e := New(Config{MinSupport: 1, MinCorrelation: 0.1})
+		e.ObserveFacts([]kq.FactID{"c", "a", "b"})
+		return e.Emerge()
+	}
+	a, b := mk(), mk()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("pairs = %d", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("emerge order nondeterministic")
+		}
+	}
+}

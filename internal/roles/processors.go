@@ -1,0 +1,522 @@
+package roles
+
+// Concrete processors for every role class. Each type documents the
+// paper's definition of the role and realizes its traffic effect.
+
+// Fuser implements Fusion: "the active node is delivering less data than
+// it receives", e.g. filtering an MPEG-4 stream's content. It aggregates
+// a window of chunks into one digest chunk whose size is a fraction of
+// the window's bytes.
+type Fuser struct {
+	base
+	// Window is how many chunks merge into one digest.
+	Window int
+	// Keep is the fraction of input bytes surviving fusion, in (0,1].
+	Keep float64
+
+	buf      []Chunk
+	bufBytes int
+}
+
+// NewFuser builds a fusion server with the given window and keep ratio.
+func NewFuser(window int, keep float64) *Fuser {
+	if window < 1 || keep <= 0 || keep > 1 {
+		panic("roles: bad fuser parameters")
+	}
+	return &Fuser{Window: window, Keep: keep}
+}
+
+func (f *Fuser) fuse() []Chunk {
+	if len(f.buf) == 0 {
+		return nil
+	}
+	first := f.buf[0]
+	sz := int(float64(f.bufBytes) * f.Keep)
+	if sz < 1 {
+		sz = 1
+	}
+	out := Chunk{Stream: first.Stream, Seq: first.Seq, Bytes: sz, Key: first.Key, Meta: "fused"}
+	f.buf = f.buf[:0]
+	f.bufBytes = 0
+	return []Chunk{out}
+}
+
+// Process buffers the chunk, emitting a digest when the window fills.
+func (f *Fuser) Process(c Chunk) []Chunk {
+	f.in(c)
+	f.buf = append(f.buf, c)
+	f.bufBytes += c.Bytes
+	if len(f.buf) >= f.Window {
+		return f.out(f.fuse())
+	}
+	return nil
+}
+
+// Flush emits the partial window.
+func (f *Fuser) Flush() []Chunk { return f.out(f.fuse()) }
+
+// Fissioner implements Fission: "the active node is delivering more data
+// than it receives", e.g. generating additional packets for multicasting.
+// Each input chunk is replicated to Copies outputs.
+type Fissioner struct {
+	base
+	Copies int
+}
+
+// NewFissioner builds a fission server emitting copies per input.
+func NewFissioner(copies int) *Fissioner {
+	if copies < 1 {
+		panic("roles: fission needs at least one copy")
+	}
+	return &Fissioner{Copies: copies}
+}
+
+// Process emits Copies replicas of the chunk.
+func (f *Fissioner) Process(c Chunk) []Chunk {
+	f.in(c)
+	out := make([]Chunk, f.Copies)
+	for i := range out {
+		out[i] = c
+		out[i].Meta = "fission"
+	}
+	return f.out(out)
+}
+
+// Cache implements Caching: "the active node stores incoming data for
+// later use upon request". Requests (chunks with Meta == "request") hit or
+// miss; data chunks populate the cache under their Key with LRU eviction.
+type Cache struct {
+	base
+	Capacity int
+
+	entries map[string]int // key -> size
+	order   []string       // LRU order, oldest first
+	Hits    int
+	Misses  int
+}
+
+// NewCache builds a content cache holding up to capacity entries.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		panic("roles: cache needs capacity")
+	}
+	return &Cache{Capacity: capacity, entries: make(map[string]int)}
+}
+
+func (c *Cache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, key)
+}
+
+// Process serves requests from the cache and stores data chunks.
+func (c *Cache) Process(in Chunk) []Chunk {
+	c.in(in)
+	if in.Meta == "request" {
+		if sz, ok := c.entries[in.Key]; ok {
+			c.Hits++
+			c.touch(in.Key)
+			// Serve locally: emit the cached object, no upstream fetch.
+			return c.out([]Chunk{{Stream: in.Stream, Seq: in.Seq, Bytes: sz, Key: in.Key, Meta: "hit"}})
+		}
+		c.Misses++
+		// Propagate the request upstream.
+		miss := in
+		miss.Meta = "miss"
+		return c.out([]Chunk{miss})
+	}
+	// Data chunk: store and forward.
+	if _, ok := c.entries[in.Key]; !ok && len(c.entries) >= c.Capacity {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, victim)
+	}
+	if _, ok := c.entries[in.Key]; !ok {
+		c.order = append(c.order, in.Key)
+	} else {
+		c.touch(in.Key)
+	}
+	c.entries[in.Key] = in.Bytes
+	fwd := in
+	fwd.Meta = "stored"
+	return c.out([]Chunk{fwd})
+}
+
+// HitRate returns hits/(hits+misses), 0 before any request.
+func (c *Cache) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// Delegate implements Delegation: "performing tasks on behalf of another
+// active node", e.g. a unified-messaging node following a nomadic user.
+// Tasks are chunks; each processed task emits a (smaller) result chunk
+// attributed to the principal.
+type Delegate struct {
+	base
+	// Principal is the node this delegate acts for.
+	Principal string
+	// ResultRatio scales task bytes into result bytes.
+	ResultRatio float64
+	TasksDone   int
+}
+
+// NewDelegate builds a delegate acting for principal.
+func NewDelegate(principal string, resultRatio float64) *Delegate {
+	if resultRatio <= 0 {
+		panic("roles: bad result ratio")
+	}
+	return &Delegate{Principal: principal, ResultRatio: resultRatio}
+}
+
+// Process executes the task and emits its result.
+func (d *Delegate) Process(c Chunk) []Chunk {
+	d.in(c)
+	d.TasksDone++
+	sz := int(float64(c.Bytes) * d.ResultRatio)
+	if sz < 1 {
+		sz = 1
+	}
+	return d.out([]Chunk{{Stream: c.Stream, Seq: c.Seq, Bytes: sz, Key: c.Key, Meta: "result:" + d.Principal}})
+}
+
+// Replicator implements the Viator Replication role ("Forward and Copy"):
+// it forwards the original and keeps/emits one copy for knowledge-based
+// services such as selective topology activation.
+type Replicator struct {
+	base
+	Copies []Chunk
+}
+
+// Process forwards the chunk and retains a copy.
+func (r *Replicator) Process(c Chunk) []Chunk {
+	r.in(c)
+	cp := c
+	cp.Meta = "copy"
+	r.Copies = append(r.Copies, cp)
+	return r.out([]Chunk{c})
+}
+
+// NextStepSwitch implements the Viator Next-Step role ("Oracle"): an
+// internal programmable switch that stores the next node role to come. It
+// is a standard module for each ship.
+type NextStepSwitch struct {
+	base
+	next    Kind
+	hasNext bool
+	History []Kind
+}
+
+// Set programs the next role.
+func (n *NextStepSwitch) Set(k Kind) {
+	n.next = k
+	n.hasNext = true
+	n.History = append(n.History, k)
+}
+
+// Next returns the programmed next role; ok is false when unset.
+func (n *NextStepSwitch) Next() (Kind, bool) { return n.next, n.hasNext }
+
+// Process tags the chunk with the stored next role and forwards it.
+func (n *NextStepSwitch) Process(c Chunk) []Chunk {
+	n.in(c)
+	if n.hasNext {
+		c.Meta = "next:" + n.next.String()
+	}
+	return n.out([]Chunk{c})
+}
+
+// Filter implements Filtering: "packet dropping or some other kind of
+// bandwidth reduction technique". Chunks failing the predicate are
+// dropped.
+type Filter struct {
+	base
+	Pred    func(Chunk) bool
+	Dropped int
+}
+
+// NewFilter builds a filter keeping chunks where pred is true.
+func NewFilter(pred func(Chunk) bool) *Filter {
+	if pred == nil {
+		panic("roles: nil predicate")
+	}
+	return &Filter{Pred: pred}
+}
+
+// Process forwards or drops the chunk.
+func (f *Filter) Process(c Chunk) []Chunk {
+	f.in(c)
+	if !f.Pred(c) {
+		f.Dropped++
+		return nil
+	}
+	return f.out([]Chunk{c})
+}
+
+// Combiner implements Combining: "joining packets from the same stream or
+// from different streams". It concatenates consecutive same-stream chunks
+// into one larger chunk (lossless, unlike fusion), saving per-packet
+// header overhead.
+type Combiner struct {
+	base
+	// MaxBytes flushes the current aggregate when it would exceed this.
+	MaxBytes int
+	// HeaderBytes is the per-chunk overhead saved by combining.
+	HeaderBytes int
+
+	cur      *Chunk
+	curCount int
+}
+
+// NewCombiner builds a combiner with the given aggregate limit.
+func NewCombiner(maxBytes, headerBytes int) *Combiner {
+	if maxBytes < 1 || headerBytes < 0 {
+		panic("roles: bad combiner parameters")
+	}
+	return &Combiner{MaxBytes: maxBytes, HeaderBytes: headerBytes}
+}
+
+// Process merges the chunk into the running aggregate.
+func (cb *Combiner) Process(c Chunk) []Chunk {
+	cb.in(c)
+	var emit []Chunk
+	if cb.cur != nil && (cb.cur.Stream != c.Stream || cb.cur.Bytes+c.Bytes > cb.MaxBytes) {
+		emit = append(emit, *cb.cur)
+		cb.cur = nil
+	}
+	if cb.cur == nil {
+		cp := c
+		cp.Meta = "combined"
+		cb.cur = &cp
+		cb.curCount = 1
+	} else {
+		// Joining saves one header's worth of bytes.
+		cb.cur.Bytes += c.Bytes - cb.HeaderBytes
+		if cb.cur.Bytes < 1 {
+			cb.cur.Bytes = 1
+		}
+		cb.curCount++
+	}
+	return cb.out(emit)
+}
+
+// Flush emits the pending aggregate.
+func (cb *Combiner) Flush() []Chunk {
+	if cb.cur == nil {
+		return nil
+	}
+	out := []Chunk{*cb.cur}
+	cb.cur = nil
+	return cb.out(out)
+}
+
+// Transcoder implements Transcoding: "transforming user data / content
+// into another form" — e.g. downscaling video for a low-bandwidth branch.
+// Output bytes = input bytes × Ratio.
+type Transcoder struct {
+	base
+	Ratio float64
+	// Format tags the output content form.
+	Format string
+}
+
+// NewTranscoder builds a transcoder with the given size ratio.
+func NewTranscoder(ratio float64, format string) *Transcoder {
+	if ratio <= 0 {
+		panic("roles: bad transcode ratio")
+	}
+	return &Transcoder{Ratio: ratio, Format: format}
+}
+
+// Process emits the transcoded chunk.
+func (tr *Transcoder) Process(c Chunk) []Chunk {
+	tr.in(c)
+	sz := int(float64(c.Bytes) * tr.Ratio)
+	if sz < 1 {
+		sz = 1
+	}
+	out := c
+	out.Bytes = sz
+	out.Meta = "format:" + tr.Format
+	return tr.out([]Chunk{out})
+}
+
+// Security implements the merged Security & Network Management class:
+// capsule authorization (token check), resource access control and event
+// accounting.
+type Security struct {
+	base
+	// Authorized is the set of accepted tokens.
+	Authorized map[int64]bool
+	Rejected   int
+	Events     []string
+}
+
+// NewSecurity builds a security processor accepting the given tokens.
+func NewSecurity(tokens ...int64) *Security {
+	s := &Security{Authorized: make(map[int64]bool)}
+	for _, t := range tokens {
+		s.Authorized[t] = true
+	}
+	return s
+}
+
+// Process passes authorized chunks and drops (and accounts) the rest.
+func (s *Security) Process(c Chunk) []Chunk {
+	s.in(c)
+	if !s.Authorized[c.Token] {
+		s.Rejected++
+		s.Events = append(s.Events, "reject:"+c.Stream)
+		return nil
+	}
+	return s.out([]Chunk{c})
+}
+
+// Supplementary implements Supplementary Services: "adding new features to
+// the packets without altering, but depending on, their contents" —
+// content-based buffering. Chunks matching Match are buffered for replay;
+// everything passes through unmodified.
+type SupplementaryService struct {
+	base
+	Match  func(Chunk) bool
+	Buffer []Chunk
+	// BufferCap bounds the replay buffer.
+	BufferCap int
+}
+
+// NewSupplementary builds a content-based buffer service.
+func NewSupplementary(match func(Chunk) bool, bufferCap int) *SupplementaryService {
+	if match == nil || bufferCap < 1 {
+		panic("roles: bad supplementary parameters")
+	}
+	return &SupplementaryService{Match: match, BufferCap: bufferCap}
+}
+
+// Process forwards the chunk, buffering a copy when it matches.
+func (sp *SupplementaryService) Process(c Chunk) []Chunk {
+	sp.in(c)
+	if sp.Match(c) {
+		if len(sp.Buffer) >= sp.BufferCap {
+			sp.Buffer = sp.Buffer[1:]
+		}
+		sp.Buffer = append(sp.Buffer, c)
+	}
+	return sp.out([]Chunk{c})
+}
+
+// Booster implements the protocol-booster class Viator adds for
+// performance enhancement: it appends FEC overhead so that a fraction of
+// downstream losses becomes recoverable. The model: each chunk grows by
+// OverheadRatio and Recoverable reports the loss fraction the added
+// redundancy can repair.
+type Booster struct {
+	base
+	// OverheadRatio is the added redundancy fraction (e.g. 0.25 = 25%).
+	OverheadRatio float64
+}
+
+// NewBooster builds a booster with the given redundancy overhead.
+func NewBooster(overhead float64) *Booster {
+	if overhead <= 0 || overhead >= 1 {
+		panic("roles: overhead must be in (0,1)")
+	}
+	return &Booster{OverheadRatio: overhead}
+}
+
+// Process emits the chunk with FEC overhead added.
+func (b *Booster) Process(c Chunk) []Chunk {
+	b.in(c)
+	out := c
+	out.Bytes = c.Bytes + int(float64(c.Bytes)*b.OverheadRatio)
+	out.Meta = "boosted"
+	return b.out([]Chunk{out})
+}
+
+// Recoverable returns the fraction of lost packets the FEC can repair:
+// with overhead h, losses up to h/(1+h) of the boosted stream are
+// recoverable.
+func (b *Booster) Recoverable() float64 {
+	return b.OverheadRatio / (1 + b.OverheadRatio)
+}
+
+// Propagator implements the Rooting/Propagation class: it re-emits every
+// chunk toward a set of configured downstream branches (the bootstrapping
+// dependant of the caching class in Figure 2).
+type Propagator struct {
+	base
+	Branches []string
+}
+
+// NewPropagator builds a propagator over the given branches.
+func NewPropagator(branches ...string) *Propagator {
+	if len(branches) == 0 {
+		panic("roles: propagator needs branches")
+	}
+	return &Propagator{Branches: branches}
+}
+
+// Process emits one copy per branch, tagged with the branch name.
+func (p *Propagator) Process(c Chunk) []Chunk {
+	p.in(c)
+	out := make([]Chunk, len(p.Branches))
+	for i, br := range p.Branches {
+		out[i] = c
+		out[i].Meta = "branch:" + br
+	}
+	return p.out(out)
+}
+
+// NewProcessor builds a default-parameterized processor for any role kind,
+// used when shuttles install roles by name. RoutingControl has no stream
+// processor (it is the vertical overlay class handled by the routing
+// package); it returns a pass-through.
+func NewProcessor(k Kind) Processor {
+	switch k {
+	case Fusion:
+		return NewFuser(4, 0.25)
+	case Fission:
+		return NewFissioner(2)
+	case Caching:
+		return NewCache(64)
+	case Delegation:
+		return NewDelegate("principal", 0.5)
+	case Replication:
+		return &Replicator{}
+	case NextStep:
+		return &NextStepSwitch{}
+	case Filtering:
+		return NewFilter(func(c Chunk) bool { return c.Meta != "drop" })
+	case Combining:
+		return NewCombiner(8<<10, 40)
+	case Transcoding:
+		return NewTranscoder(0.5, "h263")
+	case SecurityMgmt:
+		return NewSecurity(0)
+	case Supplementary:
+		return NewSupplementary(func(c Chunk) bool { return c.Key != "" }, 32)
+	case Boosting:
+		return NewBooster(0.25)
+	case Propagation:
+		return NewPropagator("b0", "b1")
+	case RoutingControl:
+		return &passThrough{}
+	default:
+		panic("roles: unknown kind")
+	}
+}
+
+// passThrough forwards chunks unchanged (placeholder for the routing
+// control class whose real behaviour lives in the routing package).
+type passThrough struct{ base }
+
+// Process forwards the chunk unchanged.
+func (p *passThrough) Process(c Chunk) []Chunk {
+	p.in(c)
+	return p.out([]Chunk{c})
+}

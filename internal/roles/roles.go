@@ -1,0 +1,147 @@
+// Package roles implements the functional role taxonomy of section D of
+// the paper: the Wetherall/Tennenhouse capsule-mechanism classes plus the
+// Viator additions as First Level Profiling, and the Kulkarni/Minden
+// protocol classes (with the Viator merge of security+management and the
+// protocol-booster addition) as Second Level Profiling. Every role is a
+// packet-stream processor with measurable traffic effects: fusion delivers
+// less data than it receives, fission more, caching saves upstream
+// fetches, and so on.
+package roles
+
+import "fmt"
+
+// Kind enumerates every role in both profiling levels.
+type Kind uint8
+
+// First Level Profiling (capsule mechanisms, Wetherall & Tennenhouse,
+// plus the Viator additions Replication and NextStep).
+const (
+	Fusion Kind = iota
+	Fission
+	Caching
+	Delegation
+	Replication
+	NextStep
+	// Second Level Profiling (protocol classes, Kulkarni & Minden, with
+	// Security and Network Management merged per the paper, plus Boosting
+	// and Rooting/Propagation added by Viator).
+	Filtering
+	Combining
+	Transcoding
+	SecurityMgmt
+	RoutingControl
+	Supplementary
+	Boosting
+	Propagation
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"fusion", "fission", "caching", "delegation", "replication", "next-step",
+	"filtering", "combining", "transcoding", "security-mgmt",
+	"routing-control", "supplementary", "boosting", "propagation",
+}
+
+// String returns the role's name.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindByName resolves a role name; ok is false for unknown names.
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if kindNames[k] == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Info describes one catalog entry.
+type Info struct {
+	Kind  Kind
+	Level int  // 1 = capsule mechanisms, 2 = protocol classes
+	Modal bool // modal (resident, prioritized) vs auxiliary (transported)
+}
+
+// Catalog returns the full role catalog in Kind order. Modal roles are the
+// First Level basics resident at every ship; Second Level roles are
+// auxiliary and installed via shuttles (Figure 2).
+func Catalog() []Info {
+	out := make([]Info, 0, NumKinds)
+	for k := Kind(0); k < NumKinds; k++ {
+		level := 1
+		if k >= Filtering {
+			level = 2
+		}
+		out = append(out, Info{Kind: k, Level: level, Modal: level == 1})
+	}
+	return out
+}
+
+// Chunk is the unit of content flowing through role processors: a piece
+// of a media or data stream with enough metadata for every role class to
+// act on (content key for caching, token for security, stream/seq for
+// combining).
+type Chunk struct {
+	Stream string // stream identity
+	Seq    int    // sequence within the stream
+	Bytes  int    // payload size
+	Key    string // content key (caching)
+	Token  int64  // authorization token (security)
+	Meta   string // free-form tag (filter predicates)
+}
+
+// Processor is a role behaviour: it consumes one chunk and emits zero or
+// more chunks. Implementations keep byte counters so experiments can
+// verify each role's stated traffic effect.
+type Processor interface {
+	// Process handles one input chunk.
+	Process(Chunk) []Chunk
+	// Flush emits any buffered output (fusion/combining windows).
+	Flush() []Chunk
+	// Stats returns cumulative byte accounting.
+	Stats() IOStats
+}
+
+// IOStats is the byte accounting every processor maintains.
+type IOStats struct {
+	ChunksIn  int
+	ChunksOut int
+	BytesIn   int
+	BytesOut  int
+}
+
+// Ratio returns BytesOut/BytesIn, the delivered-vs-received ratio the
+// paper uses to define fusion (<1) and fission (>1); 0 when no input.
+func (s IOStats) Ratio() float64 {
+	if s.BytesIn == 0 {
+		return 0
+	}
+	return float64(s.BytesOut) / float64(s.BytesIn)
+}
+
+// base provides the shared accounting for processors.
+type base struct{ st IOStats }
+
+func (b *base) in(c Chunk) {
+	b.st.ChunksIn++
+	b.st.BytesIn += c.Bytes
+}
+
+func (b *base) out(cs []Chunk) []Chunk {
+	for _, c := range cs {
+		b.st.ChunksOut++
+		b.st.BytesOut += c.Bytes
+	}
+	return cs
+}
+
+// Stats returns cumulative accounting.
+func (b *base) Stats() IOStats { return b.st }
+
+// Flush is a no-op for stateless processors.
+func (b *base) Flush() []Chunk { return nil }

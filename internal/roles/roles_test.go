@@ -1,0 +1,322 @@
+package roles
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != int(NumKinds) || len(cat) != 14 {
+		t.Fatalf("catalog has %d roles, want 14", len(cat))
+	}
+	l1, l2 := 0, 0
+	for _, info := range cat {
+		switch info.Level {
+		case 1:
+			l1++
+			if !info.Modal {
+				t.Fatalf("%v: first-level roles are modal", info.Kind)
+			}
+		case 2:
+			l2++
+			if info.Modal {
+				t.Fatalf("%v: second-level roles are auxiliary", info.Kind)
+			}
+		default:
+			t.Fatalf("%v: level %d", info.Kind, info.Level)
+		}
+	}
+	if l1 != 6 || l2 != 8 {
+		t.Fatalf("levels: %d first, %d second; want 6 and 8", l1, l2)
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("round trip failed for %v", k)
+		}
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestFusionDeliversLess(t *testing.T) {
+	f := NewFuser(4, 0.25)
+	var outs []Chunk
+	for i := 0; i < 8; i++ {
+		outs = append(outs, f.Process(Chunk{Stream: "s", Seq: i, Bytes: 1000})...)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("emitted %d digests, want 2", len(outs))
+	}
+	st := f.Stats()
+	if st.Ratio() >= 1 {
+		t.Fatalf("fusion ratio %v, must be < 1", st.Ratio())
+	}
+	if st.Ratio() != 0.25 {
+		t.Fatalf("ratio = %v, want 0.25", st.Ratio())
+	}
+}
+
+func TestFusionFlushPartialWindow(t *testing.T) {
+	f := NewFuser(10, 0.5)
+	f.Process(Chunk{Bytes: 100})
+	f.Process(Chunk{Bytes: 100})
+	out := f.Flush()
+	if len(out) != 1 || out[0].Bytes != 100 {
+		t.Fatalf("flush = %v", out)
+	}
+	if f.Flush() != nil {
+		t.Fatal("double flush emitted")
+	}
+}
+
+func TestFissionDeliversMore(t *testing.T) {
+	f := NewFissioner(3)
+	out := f.Process(Chunk{Bytes: 500})
+	if len(out) != 3 {
+		t.Fatalf("copies = %d", len(out))
+	}
+	if r := f.Stats().Ratio(); r != 3 {
+		t.Fatalf("fission ratio = %v, must be > 1", r)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(2)
+	// Miss, then store, then hit.
+	out := c.Process(Chunk{Key: "a", Meta: "request", Bytes: 10})
+	if len(out) != 1 || out[0].Meta != "miss" {
+		t.Fatalf("first request: %v", out)
+	}
+	c.Process(Chunk{Key: "a", Bytes: 900})
+	out = c.Process(Chunk{Key: "a", Meta: "request", Bytes: 10})
+	if len(out) != 1 || out[0].Meta != "hit" || out[0].Bytes != 900 {
+		t.Fatalf("hit: %v", out)
+	}
+	if c.Hits != 1 || c.Misses != 1 || c.HitRate() != 0.5 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Process(Chunk{Key: "a", Bytes: 1})
+	c.Process(Chunk{Key: "b", Bytes: 1})
+	c.Process(Chunk{Key: "a", Bytes: 1}) // refresh a; b is now LRU
+	c.Process(Chunk{Key: "c", Bytes: 1}) // evicts b
+	if out := c.Process(Chunk{Key: "b", Meta: "request"}); out[0].Meta != "miss" {
+		t.Fatal("LRU victim still cached")
+	}
+	if out := c.Process(Chunk{Key: "a", Meta: "request"}); out[0].Meta != "hit" {
+		t.Fatal("refreshed entry evicted")
+	}
+}
+
+func TestDelegate(t *testing.T) {
+	d := NewDelegate("n7", 0.5)
+	out := d.Process(Chunk{Bytes: 100, Stream: "tasks"})
+	if len(out) != 1 || out[0].Bytes != 50 || out[0].Meta != "result:n7" {
+		t.Fatalf("delegate out = %v", out)
+	}
+	if d.TasksDone != 1 {
+		t.Fatal("task not counted")
+	}
+}
+
+func TestReplicator(t *testing.T) {
+	r := &Replicator{}
+	out := r.Process(Chunk{Bytes: 10, Stream: "x"})
+	if len(out) != 1 || out[0].Meta != "" {
+		t.Fatalf("forwarded chunk altered: %v", out)
+	}
+	if len(r.Copies) != 1 || r.Copies[0].Meta != "copy" {
+		t.Fatalf("copies = %v", r.Copies)
+	}
+}
+
+func TestNextStepSwitch(t *testing.T) {
+	n := &NextStepSwitch{}
+	if _, ok := n.Next(); ok {
+		t.Fatal("unset switch has next")
+	}
+	n.Set(Fusion)
+	n.Set(Caching)
+	k, ok := n.Next()
+	if !ok || k != Caching {
+		t.Fatalf("next = %v", k)
+	}
+	if len(n.History) != 2 || n.History[0] != Fusion {
+		t.Fatalf("history = %v", n.History)
+	}
+	out := n.Process(Chunk{Bytes: 5})
+	if out[0].Meta != "next:caching" {
+		t.Fatalf("meta = %q", out[0].Meta)
+	}
+}
+
+func TestFilterDropsAndPasses(t *testing.T) {
+	f := NewFilter(func(c Chunk) bool { return c.Bytes >= 100 })
+	if out := f.Process(Chunk{Bytes: 50}); out != nil {
+		t.Fatal("small chunk passed")
+	}
+	if out := f.Process(Chunk{Bytes: 200}); len(out) != 1 {
+		t.Fatal("large chunk dropped")
+	}
+	if f.Dropped != 1 {
+		t.Fatalf("dropped = %d", f.Dropped)
+	}
+	if r := f.Stats().Ratio(); r >= 1 {
+		t.Fatalf("filter ratio %v must be < 1", r)
+	}
+}
+
+func TestCombinerJoinsSameStream(t *testing.T) {
+	cb := NewCombiner(10000, 40)
+	var outs []Chunk
+	for i := 0; i < 5; i++ {
+		outs = append(outs, cb.Process(Chunk{Stream: "s", Seq: i, Bytes: 100})...)
+	}
+	outs = append(outs, cb.Flush()...)
+	if len(outs) != 1 {
+		t.Fatalf("emitted %d, want 1 combined", len(outs))
+	}
+	// 5 chunks of 100, saving 4 headers of 40 = 500-160 = 340.
+	if outs[0].Bytes != 340 {
+		t.Fatalf("combined size = %d", outs[0].Bytes)
+	}
+}
+
+func TestCombinerSplitsStreams(t *testing.T) {
+	cb := NewCombiner(10000, 0)
+	cb.Process(Chunk{Stream: "a", Bytes: 10})
+	out := cb.Process(Chunk{Stream: "b", Bytes: 20})
+	if len(out) != 1 || out[0].Stream != "a" {
+		t.Fatalf("stream switch did not flush: %v", out)
+	}
+}
+
+func TestCombinerRespectsMaxBytes(t *testing.T) {
+	cb := NewCombiner(150, 0)
+	cb.Process(Chunk{Stream: "s", Bytes: 100})
+	out := cb.Process(Chunk{Stream: "s", Bytes: 100}) // would exceed 150
+	if len(out) != 1 || out[0].Bytes != 100 {
+		t.Fatalf("max bytes ignored: %v", out)
+	}
+}
+
+func TestTranscoder(t *testing.T) {
+	tr := NewTranscoder(0.5, "h263")
+	out := tr.Process(Chunk{Bytes: 1000})
+	if out[0].Bytes != 500 || out[0].Meta != "format:h263" {
+		t.Fatalf("out = %v", out)
+	}
+	if tr.Stats().Ratio() != 0.5 {
+		t.Fatalf("ratio = %v", tr.Stats().Ratio())
+	}
+}
+
+func TestSecurityAuthorization(t *testing.T) {
+	s := NewSecurity(42, 99)
+	if out := s.Process(Chunk{Token: 42, Stream: "ok"}); len(out) != 1 {
+		t.Fatal("authorized chunk dropped")
+	}
+	if out := s.Process(Chunk{Token: 1, Stream: "bad"}); out != nil {
+		t.Fatal("unauthorized chunk passed")
+	}
+	if s.Rejected != 1 || len(s.Events) != 1 || s.Events[0] != "reject:bad" {
+		t.Fatalf("accounting: rejected=%d events=%v", s.Rejected, s.Events)
+	}
+}
+
+func TestSupplementaryBuffersWithoutAltering(t *testing.T) {
+	sp := NewSupplementary(func(c Chunk) bool { return c.Key == "keep" }, 2)
+	out := sp.Process(Chunk{Key: "keep", Bytes: 10, Seq: 1})
+	if len(out) != 1 || out[0].Bytes != 10 || out[0].Seq != 1 {
+		t.Fatal("chunk altered")
+	}
+	sp.Process(Chunk{Key: "other", Bytes: 10})
+	sp.Process(Chunk{Key: "keep", Bytes: 10, Seq: 2})
+	sp.Process(Chunk{Key: "keep", Bytes: 10, Seq: 3}) // evicts seq 1
+	if len(sp.Buffer) != 2 || sp.Buffer[0].Seq != 2 {
+		t.Fatalf("buffer = %v", sp.Buffer)
+	}
+}
+
+func TestBooster(t *testing.T) {
+	b := NewBooster(0.25)
+	out := b.Process(Chunk{Bytes: 1000})
+	if out[0].Bytes != 1250 {
+		t.Fatalf("boosted size = %d", out[0].Bytes)
+	}
+	if rec := b.Recoverable(); rec != 0.2 {
+		t.Fatalf("recoverable = %v", rec)
+	}
+}
+
+func TestPropagator(t *testing.T) {
+	p := NewPropagator("east", "west", "south")
+	out := p.Process(Chunk{Bytes: 7})
+	if len(out) != 3 || out[1].Meta != "branch:west" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestNewProcessorCoversCatalog(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		p := NewProcessor(k)
+		if p == nil {
+			t.Fatalf("no processor for %v", k)
+		}
+		// Every processor must account bytes.
+		p.Process(Chunk{Bytes: 100, Stream: "t", Key: "k"})
+		if p.Stats().ChunksIn != 1 || p.Stats().BytesIn != 100 {
+			t.Fatalf("%v: accounting broken: %+v", k, p.Stats())
+		}
+	}
+}
+
+func TestPaperTrafficShapes(t *testing.T) {
+	// Table-E12 property: the defining byte-ratio ordering of the classes.
+	fuse := NewProcessor(Fusion)
+	fiss := NewProcessor(Fission)
+	for i := 0; i < 16; i++ {
+		c := Chunk{Stream: "s", Seq: i, Bytes: 1000}
+		fuse.Process(c)
+		fiss.Process(c)
+	}
+	fuse.Flush()
+	if !(fuse.Stats().Ratio() < 1 && fiss.Stats().Ratio() > 1) {
+		t.Fatalf("fusion %v / fission %v ordering violated",
+			fuse.Stats().Ratio(), fiss.Stats().Ratio())
+	}
+}
+
+func TestProcessorsConserveChunkCounts(t *testing.T) {
+	// Property: ChunksOut accounting matches what Process returns.
+	if err := quick.Check(func(sizes []uint16) bool {
+		p := NewFuser(3, 0.5)
+		emitted := 0
+		for i, s := range sizes {
+			c := Chunk{Stream: "s", Seq: i, Bytes: int(s%1000) + 1}
+			emitted += len(p.Process(c))
+		}
+		emitted += len(p.Flush())
+		return p.Stats().ChunksOut == emitted && p.Stats().ChunksIn == len(sizes)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleFuser() {
+	f := NewFuser(2, 0.5)
+	f.Process(Chunk{Stream: "cam", Seq: 0, Bytes: 800})
+	out := f.Process(Chunk{Stream: "cam", Seq: 1, Bytes: 200})
+	fmt.Println(len(out), out[0].Bytes)
+	// Output: 1 500
+}

@@ -1,0 +1,352 @@
+// Package routing provides the routing substrates of the reproduction:
+// static shortest-path tables (the passive baseline), a distance-vector
+// protocol with measurable convergence, an AODV-style on-demand ad-hoc
+// protocol with control-message accounting, and the WLI adaptive QoS
+// router that realizes "routing control ... overlaying and managing
+// several virtual topologies on top of the same physical network" —
+// the vertical intra-node overlay class of section D.
+package routing
+
+import (
+	"math"
+
+	"viator/internal/stats"
+	"viator/internal/topo"
+)
+
+// Static is a precomputed all-pairs shortest-path router: the classic
+// passive-network data plane. Tables go stale when the topology changes
+// until Recompute is called — exactly the rigidity the adaptive router
+// is measured against.
+type Static struct {
+	g      *topo.Graph
+	tables []*topo.SPT
+	// Recomputes counts full table rebuilds.
+	Recomputes int
+}
+
+// NewStatic builds and computes tables for g.
+func NewStatic(g *topo.Graph) *Static {
+	s := &Static{g: g}
+	s.Recompute()
+	return s
+}
+
+// Recompute rebuilds every source's shortest-path tree.
+func (s *Static) Recompute() {
+	s.tables = make([]*topo.SPT, s.g.N())
+	for i := 0; i < s.g.N(); i++ {
+		s.tables[i] = s.g.Dijkstra(topo.NodeID(i))
+	}
+	s.Recomputes++
+}
+
+// NextHop returns the next hop from src toward dst, or -1.
+func (s *Static) NextHop(src, dst topo.NodeID) topo.NodeID {
+	if src == dst {
+		return dst
+	}
+	return s.tables[src].NextHop(dst)
+}
+
+// Path returns the full path src→dst, or nil.
+func (s *Static) Path(src, dst topo.NodeID) []topo.NodeID {
+	return s.tables[src].PathTo(dst)
+}
+
+// Cost returns the path cost src→dst (+Inf when unreachable).
+func (s *Static) Cost(src, dst topo.NodeID) float64 {
+	return s.tables[src].Dist[dst]
+}
+
+// DistanceVector is a Bellman-Ford routing protocol run to convergence in
+// synchronous rounds; Converge returns the number of rounds and update
+// messages, the textbook control-plane cost baseline.
+type DistanceVector struct {
+	g    *topo.Graph
+	dist [][]float64 // dist[n][dst]
+	next [][]topo.NodeID
+}
+
+// NewDistanceVector initializes tables with direct-neighbor routes.
+func NewDistanceVector(g *topo.Graph) *DistanceVector {
+	dv := &DistanceVector{g: g}
+	n := g.N()
+	dv.dist = make([][]float64, n)
+	dv.next = make([][]topo.NodeID, n)
+	for i := 0; i < n; i++ {
+		dv.dist[i] = make([]float64, n)
+		dv.next[i] = make([]topo.NodeID, n)
+		for j := 0; j < n; j++ {
+			dv.dist[i][j] = math.Inf(1)
+			dv.next[i][j] = -1
+		}
+		dv.dist[i][i] = 0
+		dv.next[i][i] = topo.NodeID(i)
+	}
+	return dv
+}
+
+// Converge runs synchronous exchange rounds until no table changes,
+// returning (rounds, messages). Each round every node advertises its
+// vector to every up neighbor.
+func (dv *DistanceVector) Converge(maxRounds int) (rounds, messages int) {
+	n := dv.g.N()
+	for r := 0; r < maxRounds; r++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			for _, li := range dv.g.OutLinks(topo.NodeID(i)) {
+				l := dv.g.Link(li)
+				messages++ // i advertises to l.To
+				for dst := 0; dst < n; dst++ {
+					cand := l.Cost + dv.dist[i][dst]
+					if cand < dv.dist[l.To][dst] {
+						dv.dist[l.To][dst] = cand
+						dv.next[l.To][dst] = topo.NodeID(i)
+						changed = true
+					}
+				}
+			}
+		}
+		rounds++
+		if !changed {
+			break
+		}
+	}
+	return rounds, messages
+}
+
+// NextHop returns the converged next hop, or -1.
+func (dv *DistanceVector) NextHop(src, dst topo.NodeID) topo.NodeID {
+	return dv.next[src][dst]
+}
+
+// Cost returns the converged cost (+Inf when unreachable).
+func (dv *DistanceVector) Cost(src, dst topo.NodeID) float64 {
+	return dv.dist[src][dst]
+}
+
+// AODV is an on-demand ad-hoc routing protocol in the AODV style: routes
+// are discovered by flooding route requests, cached, and invalidated on
+// link failure. Control cost is counted per discovery — the metric the
+// paper's "formal specification of a generic adaptive routing protocol
+// for active ad-hoc wireless networks" targets.
+type AODV struct {
+	g     *topo.Graph
+	cache map[[2]topo.NodeID][]topo.NodeID
+
+	// Discoveries and ControlMsgs account route-request floods.
+	Discoveries uint64
+	ControlMsgs uint64
+	CacheHits   uint64
+}
+
+// NewAODV creates an on-demand router over g.
+func NewAODV(g *topo.Graph) *AODV {
+	return &AODV{g: g, cache: make(map[[2]topo.NodeID][]topo.NodeID)}
+}
+
+// Route returns a path src→dst, using the cache when the cached path is
+// still valid, otherwise flooding a discovery. nil means unreachable.
+func (a *AODV) Route(src, dst topo.NodeID) []topo.NodeID {
+	key := [2]topo.NodeID{src, dst}
+	if p, ok := a.cache[key]; ok && a.valid(p) {
+		a.CacheHits++
+		return p
+	}
+	// Discovery: BFS flood. Every node forwards the RREQ once to each
+	// neighbor; the reply unicasts back along the discovered path.
+	a.Discoveries++
+	prev := make(map[topo.NodeID]topo.NodeID)
+	seen := map[topo.NodeID]bool{src: true}
+	queue := []topo.NodeID{src}
+	found := false
+	for len(queue) > 0 && !found {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range a.g.Neighbors(u) {
+			a.ControlMsgs++ // RREQ transmission u→v
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			prev[v] = u
+			if v == dst {
+				found = true
+				break
+			}
+			queue = append(queue, v)
+		}
+	}
+	if !found {
+		return nil
+	}
+	var rev []topo.NodeID
+	for v := dst; ; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	path := make([]topo.NodeID, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	a.ControlMsgs += uint64(len(path) - 1) // RREP back along the path
+	a.cache[key] = path
+	return path
+}
+
+// valid checks that every hop of a cached path is still an up link.
+func (a *AODV) valid(path []topo.NodeID) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if a.g.FindLink(path[i], path[i+1]) == -1 {
+			return false
+		}
+	}
+	return len(path) > 0
+}
+
+// InvalidateNode drops all cached routes through the given node (route
+// error propagation after a ship dies or moves away).
+func (a *AODV) InvalidateNode(n topo.NodeID) {
+	for key, path := range a.cache {
+		for _, hop := range path {
+			if hop == n {
+				delete(a.cache, key)
+				break
+			}
+		}
+	}
+}
+
+// CacheSize returns the number of cached routes.
+func (a *AODV) CacheSize() int { return len(a.cache) }
+
+// Adaptive is the WLI QoS router: link costs blend propagation cost with
+// a congestion estimate fed by per-link utilization feedback, and
+// per-class overlays reweight the blend — topology-on-demand. Pulse
+// recomputes the tables from fresh feedback.
+type Adaptive struct {
+	g *topo.Graph
+	// CongestionWeight scales how strongly utilization inflates cost.
+	CongestionWeight float64
+
+	util   []stats.EWMA
+	tables map[string][]*topo.SPT // per overlay class
+	biases map[string]float64
+	order  []string
+
+	// Pulses counts feedback-driven recomputations.
+	Pulses int
+}
+
+// NewAdaptive creates the adaptive router with a default overlay "" of
+// bias 1.
+func NewAdaptive(g *topo.Graph, congestionWeight float64) *Adaptive {
+	a := &Adaptive{
+		g: g, CongestionWeight: congestionWeight,
+		tables: make(map[string][]*topo.SPT),
+		biases: make(map[string]float64),
+	}
+	a.SpawnOverlay("", 1)
+	return a
+}
+
+// ObserveUtilization feeds one link's current utilization in [0,1].
+func (a *Adaptive) ObserveUtilization(li int, u float64) {
+	for len(a.util) <= li {
+		a.util = append(a.util, stats.EWMA{Alpha: 0.3})
+	}
+	a.util[li].Update(u)
+}
+
+// effectiveCost is the blended link metric for an overlay bias.
+func (a *Adaptive) effectiveCost(li int, bias float64) float64 {
+	l := a.g.Link(li)
+	congestion := 0.0
+	if li < len(a.util) {
+		congestion = a.util[li].Value()
+	}
+	// Congestion term grows super-linearly near saturation so loaded
+	// links are avoided before they drop.
+	penalty := a.CongestionWeight * bias * congestion / math.Max(0.05, 1-congestion)
+	return l.Cost + penalty
+}
+
+// SpawnOverlay creates (or reweights) a virtual overlay network with the
+// given congestion bias: bias > 1 is a latency-sensitive class that flees
+// congestion aggressively, bias 0 ignores congestion (bulk class).
+func (a *Adaptive) SpawnOverlay(name string, bias float64) {
+	if _, exists := a.biases[name]; !exists {
+		a.order = append(a.order, name)
+	}
+	a.biases[name] = bias
+	a.recomputeOverlay(name)
+}
+
+// TeardownOverlay removes a virtual overlay.
+func (a *Adaptive) TeardownOverlay(name string) {
+	delete(a.biases, name)
+	delete(a.tables, name)
+	for i, o := range a.order {
+		if o == name {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Overlays returns overlay names in creation order.
+func (a *Adaptive) Overlays() []string {
+	out := make([]string, len(a.order))
+	copy(out, a.order)
+	return out
+}
+
+func (a *Adaptive) recomputeOverlay(name string) {
+	bias := a.biases[name]
+	// Dijkstra over effective costs: clone the graph costs virtually by
+	// running Dijkstra on a cost-adjusted copy.
+	cg := a.g.Clone()
+	for li := 0; li < cg.Links(); li++ {
+		if cg.Link(li).Up {
+			cg.SetCost(li, a.effectiveCost(li, bias))
+		}
+	}
+	tables := make([]*topo.SPT, cg.N())
+	for i := 0; i < cg.N(); i++ {
+		tables[i] = cg.Dijkstra(topo.NodeID(i))
+	}
+	a.tables[name] = tables
+}
+
+// Pulse recomputes every overlay from current feedback — the periodic
+// adaptation step of the vertical wandering scheme.
+func (a *Adaptive) Pulse() {
+	for _, name := range a.order {
+		a.recomputeOverlay(name)
+	}
+	a.Pulses++
+}
+
+// NextHop routes within an overlay; unknown overlays fall back to "".
+func (a *Adaptive) NextHop(overlay string, src, dst topo.NodeID) topo.NodeID {
+	t, ok := a.tables[overlay]
+	if !ok {
+		t = a.tables[""]
+	}
+	if src == dst {
+		return dst
+	}
+	return t[src].NextHop(dst)
+}
+
+// Path returns the overlay path src→dst, or nil.
+func (a *Adaptive) Path(overlay string, src, dst topo.NodeID) []topo.NodeID {
+	t, ok := a.tables[overlay]
+	if !ok {
+		t = a.tables[""]
+	}
+	return t[src].PathTo(dst)
+}

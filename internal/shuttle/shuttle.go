@@ -1,0 +1,236 @@
+// Package shuttle implements the active packets of the Wandering Network:
+// "shuttles carry code and data for the upgrade/degrade and
+// re-configuration of ships [and] can carry genetic information about the
+// ships' architecture and their communication patterns."
+//
+// Shuttles are ployons (they have a structural shape and can morph to
+// match a destination ship's interface — the DCP), carry WanderScript
+// code, knowledge quanta and genomes, and a special class of shuttles,
+// jets, "are allowed to replicate themselves and to create/remove/modify
+// other capsules and resources in the network."
+package shuttle
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"viator/internal/ployon"
+)
+
+// Kind classifies a shuttle's payload role.
+type Kind uint8
+
+// Shuttle kinds.
+const (
+	Data  Kind = iota // ordinary content
+	Code              // carries a program for installation (code distribution)
+	Gene              // carries a genome (genetic transcoding / node genesis)
+	Jet               // self-replicating management capsule
+	Probe             // measurement/feedback capsule
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{"data", "code", "gene", "jet", "probe"}
+
+// String names the kind.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// HeaderBytes is the fixed wire overhead of every shuttle.
+const HeaderBytes = 32
+
+// MaxJetGeneration bounds jet replication depth: an unbounded jet would
+// be a packet storm. Jets carry their generation and refuse to replicate
+// past the bound.
+const MaxJetGeneration = 6
+
+// Shuttle is one active packet.
+type Shuttle struct {
+	ployon.Ployon
+	Kind     Kind
+	Src, Dst int32        // ship node ids
+	DstClass ployon.Class // class embedded in the destination address
+
+	CodeID string // identifier for demand code distribution
+	Code   []byte // encoded WanderScript (vm.Encode)
+	Genome []byte // encoded kq.Genome
+	Data   []byte // opaque content
+
+	TTL        uint8
+	Generation uint8 // jet replication generation (0 = original)
+	MorphCount int   // times this shuttle morphed in flight
+}
+
+// Shuttle errors.
+var (
+	ErrNotJet    = errors.New("shuttle: only jets replicate")
+	ErrExhausted = errors.New("shuttle: jet generation bound reached")
+	ErrWire      = errors.New("shuttle: malformed wire encoding")
+)
+
+// New builds a data shuttle from src to dst with the canonical shape of
+// the sender's class.
+func New(id ployon.ID, kind Kind, src, dst int32, class ployon.Class) *Shuttle {
+	return &Shuttle{
+		Ployon: ployon.Ployon{ID: id, Class: class, Shape: ployon.CanonicalShape(class)},
+		Kind:   kind, Src: src, Dst: dst, DstClass: class, TTL: 64,
+	}
+}
+
+// WireSize returns the shuttle's on-the-wire size in bytes: fixed header
+// plus payloads. Experiments use it for honest bandwidth accounting.
+func (s *Shuttle) WireSize() int {
+	return HeaderBytes + len(s.CodeID) + len(s.Code) + len(s.Genome) + len(s.Data)
+}
+
+// Morph adapts the shuttle's shape toward target at the given rate —
+// "a shuttle approaching a ship can re-configure itself becoming a
+// morphing packet to provide the desired interface and match a ship's
+// requirements". It returns the byte cost added to the shuttle for the
+// adaptation layer.
+func (s *Shuttle) Morph(target ployon.Shape, rate float64) int {
+	cost := ployon.MorphCost(s.Shape, target, HeaderBytes)
+	s.Shape = s.Shape.MorphToward(target, rate)
+	s.MorphCount++
+	return cost
+}
+
+// MorphForClass morphs toward the canonical shape of the destination
+// class — the paper's "based on the destination address and on the class
+// of the ship included in this address" operation.
+func (s *Shuttle) MorphForClass(rate float64) int {
+	return s.Morph(ployon.CanonicalShape(s.DstClass), rate)
+}
+
+// Replicate clones a jet, incrementing the generation. Only jets may
+// replicate, and only below MaxJetGeneration.
+func (s *Shuttle) Replicate(newID ployon.ID) (*Shuttle, error) {
+	if s.Kind != Jet {
+		return nil, ErrNotJet
+	}
+	if s.Generation >= MaxJetGeneration {
+		return nil, ErrExhausted
+	}
+	cp := *s
+	cp.ID = newID
+	cp.Generation = s.Generation + 1
+	cp.Code = append([]byte(nil), s.Code...)
+	cp.Genome = append([]byte(nil), s.Genome...)
+	cp.Data = append([]byte(nil), s.Data...)
+	return &cp, nil
+}
+
+const wireMagic = 0x5A
+
+// Encode serializes the shuttle for transport.
+func (s *Shuttle) Encode() []byte {
+	b := []byte{wireMagic, byte(s.Kind), byte(s.Class), byte(s.DstClass), s.TTL, s.Generation}
+	b = binary.AppendUvarint(b, uint64(s.ID))
+	b = binary.AppendVarint(b, int64(s.Src))
+	b = binary.AppendVarint(b, int64(s.Dst))
+	for _, f := range s.Shape {
+		// Shape features quantize to 16 bits; enough for congruence tests.
+		b = binary.AppendUvarint(b, uint64(f*65535))
+	}
+	app := func(p []byte) {
+		b = binary.AppendUvarint(b, uint64(len(p)))
+		b = append(b, p...)
+	}
+	app([]byte(s.CodeID))
+	app(s.Code)
+	app(s.Genome)
+	app(s.Data)
+	return b
+}
+
+// Decode parses an encoded shuttle.
+func Decode(b []byte) (*Shuttle, error) {
+	if len(b) < 6 || b[0] != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrWire)
+	}
+	s := &Shuttle{Kind: Kind(b[1]), TTL: b[4], Generation: b[5]}
+	if s.Kind >= NumKinds {
+		return nil, fmt.Errorf("%w: kind %d", ErrWire, s.Kind)
+	}
+	s.Class = ployon.Class(b[2])
+	s.DstClass = ployon.Class(b[3])
+	b = b[6:]
+	u := func() (uint64, error) {
+		v, k := binary.Uvarint(b)
+		if k <= 0 {
+			return 0, fmt.Errorf("%w: truncated", ErrWire)
+		}
+		b = b[k:]
+		return v, nil
+	}
+	i := func() (int64, error) {
+		v, k := binary.Varint(b)
+		if k <= 0 {
+			return 0, fmt.Errorf("%w: truncated", ErrWire)
+		}
+		b = b[k:]
+		return v, nil
+	}
+	id, err := u()
+	if err != nil {
+		return nil, err
+	}
+	s.ID = ployon.ID(id)
+	src, err := i()
+	if err != nil {
+		return nil, err
+	}
+	dst, err := i()
+	if err != nil {
+		return nil, err
+	}
+	s.Src, s.Dst = int32(src), int32(dst)
+	for d := 0; d < ployon.ShapeDims; d++ {
+		q, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if q > 65535 {
+			return nil, fmt.Errorf("%w: shape feature overflow", ErrWire)
+		}
+		s.Shape[d] = float64(q) / 65535
+	}
+	blob := func(max uint64) ([]byte, error) {
+		n, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if n > max || n > uint64(len(b)) {
+			return nil, fmt.Errorf("%w: blob length %d", ErrWire, n)
+		}
+		out := append([]byte(nil), b[:n]...)
+		b = b[n:]
+		if len(out) == 0 {
+			return nil, nil
+		}
+		return out, nil
+	}
+	idb, err := blob(1 << 10)
+	if err != nil {
+		return nil, err
+	}
+	s.CodeID = string(idb)
+	if s.Code, err = blob(1 << 20); err != nil {
+		return nil, err
+	}
+	if s.Genome, err = blob(1 << 20); err != nil {
+		return nil, err
+	}
+	if s.Data, err = blob(1 << 24); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrWire)
+	}
+	return s, nil
+}

@@ -1,0 +1,195 @@
+package shuttle
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"viator/internal/ployon"
+)
+
+func TestNewShuttleDefaults(t *testing.T) {
+	s := New(7, Data, 1, 2, ployon.ClassClient)
+	if s.ID != 7 || s.Kind != Data || s.Src != 1 || s.Dst != 2 {
+		t.Fatalf("shuttle = %+v", s)
+	}
+	if s.TTL != 64 {
+		t.Fatalf("ttl = %d", s.TTL)
+	}
+	if s.Shape != ployon.CanonicalShape(ployon.ClassClient) {
+		t.Fatal("shape not canonical for class")
+	}
+}
+
+func TestWireSizeAccounting(t *testing.T) {
+	s := New(1, Code, 0, 1, ployon.ClassServer)
+	base := s.WireSize()
+	if base != HeaderBytes {
+		t.Fatalf("empty shuttle = %d bytes", base)
+	}
+	s.Code = make([]byte, 100)
+	s.CodeID = "fn"
+	s.Data = make([]byte, 50)
+	if s.WireSize() != HeaderBytes+100+2+50 {
+		t.Fatalf("wire size = %d", s.WireSize())
+	}
+}
+
+func TestMorphIncreasesCongruence(t *testing.T) {
+	s := New(1, Data, 0, 1, ployon.ClassRelay)
+	target := ployon.CanonicalShape(ployon.ClassServer)
+	before := ployon.Congruence(s.Shape, target)
+	cost := s.Morph(target, 1)
+	after := ployon.Congruence(s.Shape, target)
+	if after <= before {
+		t.Fatalf("morph did not improve congruence: %v -> %v", before, after)
+	}
+	if after < 0.999 {
+		t.Fatalf("full morph incomplete: %v", after)
+	}
+	if cost <= 0 {
+		t.Fatal("distant morph was free")
+	}
+	if s.MorphCount != 1 {
+		t.Fatalf("morph count = %d", s.MorphCount)
+	}
+}
+
+func TestMorphForClassUsesDstClass(t *testing.T) {
+	s := New(1, Data, 0, 1, ployon.ClassRelay)
+	s.DstClass = ployon.ClassAgent
+	s.MorphForClass(1)
+	if c := ployon.Congruence(s.Shape, ployon.CanonicalShape(ployon.ClassAgent)); c < 0.999 {
+		t.Fatalf("congruence to dst class = %v", c)
+	}
+}
+
+func TestMorphCostMonotone(t *testing.T) {
+	// Near shapes cost less to morph than far shapes.
+	near := New(1, Data, 0, 1, ployon.ClassServer)
+	far := New(2, Data, 0, 1, ployon.ClassRelay)
+	target := ployon.CanonicalShape(ployon.ClassServer)
+	if near.Morph(target, 1) > far.Morph(target, 1) {
+		t.Fatal("near morph cost exceeds far morph cost")
+	}
+}
+
+func TestJetReplication(t *testing.T) {
+	j := New(1, Jet, 0, 1, ployon.ClassAgent)
+	j.Data = []byte{1, 2, 3}
+	child, err := j.Replicate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.ID != 2 || child.Generation != 1 {
+		t.Fatalf("child = %+v", child)
+	}
+	// Deep copy: mutating the child must not touch the parent.
+	child.Data[0] = 99
+	if j.Data[0] != 1 {
+		t.Fatal("replication shares payload memory")
+	}
+}
+
+func TestJetGenerationBound(t *testing.T) {
+	j := New(1, Jet, 0, 1, ployon.ClassAgent)
+	cur := j
+	for g := 0; g < MaxJetGeneration; g++ {
+		next, err := cur.Replicate(ployon.ID(10 + g))
+		if err != nil {
+			t.Fatalf("generation %d: %v", g, err)
+		}
+		cur = next
+	}
+	if _, err := cur.Replicate(99); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("unbounded jet: %v", err)
+	}
+}
+
+func TestNonJetCannotReplicate(t *testing.T) {
+	s := New(1, Data, 0, 1, ployon.ClassClient)
+	if _, err := s.Replicate(2); !errors.Is(err, ErrNotJet) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := New(12345, Gene, -3, 77, ployon.ClassClient)
+	s.DstClass = ployon.ClassServer
+	s.CodeID = "transcode-v2"
+	s.Code = []byte{1, 2, 3, 4}
+	s.Genome = []byte{9}
+	s.Data = []byte("hello")
+	s.TTL = 7
+	s.Generation = 2
+	s.Morph(ployon.CanonicalShape(ployon.ClassServer), 0.3)
+
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != s.ID || got.Kind != s.Kind || got.Src != s.Src || got.Dst != s.Dst ||
+		got.DstClass != s.DstClass || got.TTL != s.TTL || got.Generation != s.Generation {
+		t.Fatalf("header mismatch: %+v vs %+v", got, s)
+	}
+	if got.CodeID != s.CodeID || string(got.Code) != string(s.Code) ||
+		string(got.Genome) != string(s.Genome) || string(got.Data) != string(s.Data) {
+		t.Fatal("payload mismatch")
+	}
+	// Shape survives within quantization error.
+	for i := range s.Shape {
+		if math.Abs(got.Shape[i]-s.Shape[i]) > 1.0/65535+1e-9 {
+			t.Fatalf("shape dim %d: %v vs %v", i, got.Shape[i], s.Shape[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{wireMagic, 200, 0, 0, 1, 0, 0}, // bad kind
+		{wireMagic, 0, 0, 0, 1, 0},      // truncated
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("case %d decoded", i)
+		}
+	}
+	good := New(1, Data, 0, 1, ployon.ClassRelay).Encode()
+	if _, err := Decode(append(good, 1)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	if err := quick.Check(func(id uint32, kind uint8, src, dst int16, ttl, gen uint8, data []byte) bool {
+		s := New(ployon.ID(id), Kind(kind%uint8(NumKinds)), int32(src), int32(dst), ployon.ClassAgent)
+		s.TTL = ttl
+		s.Generation = gen
+		if len(data) > 0 {
+			s.Data = data
+		}
+		got, err := Decode(s.Encode())
+		if err != nil {
+			return false
+		}
+		return got.ID == s.ID && got.Kind == s.Kind && got.Src == s.Src &&
+			got.Dst == s.Dst && got.TTL == ttl && got.Generation == gen &&
+			string(got.Data) == string(s.Data)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		n := k.String()
+		if n == "" || seen[n] {
+			t.Fatalf("bad kind name %q", n)
+		}
+		seen[n] = true
+	}
+}

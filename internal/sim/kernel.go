@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds.
+type Time = float64
+
+// Event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (FIFO), which keeps trajectories deterministic.
+type Event struct {
+	At   Time
+	Fn   func()
+	seq  uint64
+	idx  int
+	dead bool
+}
+
+// Cancel marks the event so the kernel skips it when its time comes.
+// Cancelling an already-fired event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine: a virtual clock plus a
+// time-ordered event queue. It is not safe for concurrent use.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	stopped bool
+	Rand    *RNG
+}
+
+// NewKernel returns a kernel at time zero with a deterministic RNG.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{Rand: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns how many events have executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events still queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a model bug and silently clamping would hide it.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: schedule at NaN")
+	}
+	e := &Event{At: t, Fn: fn, seq: k.seq}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn delay seconds from now.
+func (k *Kernel) After(delay Time, fn func()) *Event {
+	return k.At(k.now+delay, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, the
+// horizon passes, or Stop is called. It returns the number of events fired
+// during this call.
+func (k *Kernel) Run(until Time) uint64 {
+	k.stopped = false
+	start := k.fired
+	for len(k.queue) > 0 && !k.stopped {
+		e := k.queue[0]
+		if e.At > until {
+			break
+		}
+		heap.Pop(&k.queue)
+		if e.dead {
+			continue
+		}
+		k.now = e.At
+		k.fired++
+		e.Fn()
+	}
+	if k.now < until && !k.stopped {
+		k.now = until
+	}
+	return k.fired - start
+}
+
+// Drain runs until the event queue is empty (or Stop). Use only for models
+// that are known to quiesce; unbounded event chains will spin forever.
+func (k *Kernel) Drain() uint64 {
+	return k.Run(math.Inf(1))
+}
+
+// Every schedules fn to run now+period, then every period thereafter, until
+// the returned Ticker is stopped. The callback observes the kernel clock.
+func (k *Kernel) Every(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker is a periodic event source created by Kernel.Every.
+type Ticker struct {
+	k       *Kernel
+	period  Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.k.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker; the pending occurrence is cancelled.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Trial is one independent simulation run: it receives a trial index and a
+// seed derived for that trial, and returns an arbitrary result value.
+type Trial[T any] func(index int, seed uint64) T
+
+// RunParallel executes n independent trials across a worker pool and
+// returns the results in trial order. Each trial gets a distinct seed
+// deterministically derived from baseSeed, so the full set of results is
+// reproducible regardless of scheduling. workers <= 0 selects GOMAXPROCS.
+func RunParallel[T any](n int, baseSeed uint64, workers int, trial Trial[T]) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	seeds := make([]uint64, n)
+	root := NewRNG(baseSeed)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = trial(i, seeds[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

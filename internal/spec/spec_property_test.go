@@ -1,0 +1,56 @@
+package spec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the protocol's safety invariants hold from ANY initial
+// topology (including disconnected ones), not just the full mesh. This
+// is the sweep a TLC user would run over initial-state predicates.
+func TestSafetyHoldsFromRandomInitialTopologies(t *testing.T) {
+	if err := quick.Check(func(mask uint8) bool {
+		// Interpret the low 3 bits as the initial links of a 3-node
+		// model: (0,1), (0,2), (1,2).
+		var links [][2]int
+		pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+		for i, p := range pairs {
+			if mask&(1<<i) != 0 {
+				links = append(links, p)
+			}
+		}
+		p := New(Config{N: 3, Budget: 2, InitialLinks: links})
+		return p.CheckSafety(0).OK()
+	}, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: liveness (stable+connected ~> all valid) holds from every
+// 4-node initial topology with a small budget.
+func TestLivenessHoldsFromRandomInitialTopologies(t *testing.T) {
+	pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for mask := 0; mask < 64; mask += 7 { // sampled sweep
+		var links [][2]int
+		for i, pr := range pairs {
+			if mask&(1<<i) != 0 {
+				links = append(links, pr)
+			}
+		}
+		p := New(Config{N: 4, Budget: 1, InitialLinks: links})
+		if res := p.CheckLiveness(0); !res.Holds {
+			t.Fatalf("mask %06b: liveness fails from %+v (%s)", mask, res.Witness, res.Reason)
+		}
+	}
+}
+
+// Property: the reachable state count is invariant under re-checking
+// (the checker itself is deterministic).
+func TestCheckerDeterminism(t *testing.T) {
+	p := New(DefaultConfig())
+	a := p.CheckSafety(0)
+	b := p.CheckSafety(0)
+	if a.States != b.States || a.Transitions != b.Transitions || a.Depth != b.Depth {
+		t.Fatalf("nondeterministic checker: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,326 @@
+// Package stats provides the measurement substrate used by every Viator
+// experiment: streaming counters and summaries, histograms, time series and
+// plain-text table rendering for the benchmark harness output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 observations and answers the
+// usual moment and order-statistic questions. Observations are retained so
+// exact percentiles are available; use Counter for unbounded streams.
+type Summary struct {
+	vals   []float64
+	sum    float64
+	sumSq  float64
+	min    float64
+	max    float64
+	sorted bool
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sum += v
+	s.sumSq += v * v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.vals) }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Var returns the population variance.
+func (s *Summary) Var() float64 {
+	n := float64(len(s.vals))
+	if n == 0 {
+		return 0
+	}
+	m := s.sum / n
+	v := s.sumSq/n - m*m
+	if v < 0 { // floating point guard
+		return 0
+	}
+	return v
+}
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or +Inf when empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or -Inf when empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank interpolation. Empty summaries return 0.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := p / 100 * float64(len(s.vals)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := rank - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+}
+
+// Median is Percentile(50).
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+// String renders a one-line digest.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p95=%.4g min=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Min(), s.Max())
+}
+
+// Counter is a cheap monotonically adjustable tally keyed by name, used
+// for event accounting across a simulation.
+type Counter struct {
+	m     map[string]float64
+	order []string
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter {
+	return &Counter{m: make(map[string]float64)}
+}
+
+// Inc adds delta to the named counter, creating it on first use.
+func (c *Counter) Inc(name string, delta float64) {
+	if _, ok := c.m[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.m[name] += delta
+}
+
+// Get returns the value of the named counter (0 if never incremented).
+func (c *Counter) Get(name string) float64 { return c.m[name] }
+
+// Names returns counter names in first-use order.
+func (c *Counter) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Histogram buckets observations into fixed-width bins over [lo,hi); values
+// outside the range land in the under/overflow bins.
+type Histogram struct {
+	lo, hi float64
+	width  float64
+	bins   []uint64
+	under  uint64
+	over   uint64
+	total  uint64
+	sum    float64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo,hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), bins: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	h.sum += v
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		i := int((v - h.lo) / h.width)
+		if i >= len(h.bins) { // right-edge float slack
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns total observations including under/overflow.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) uint64 { return h.bins[i] }
+
+// NumBins returns the number of in-range bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// Mean returns the mean of all added values (exact, not bin-centered).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Mode returns the midpoint of the fullest in-range bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.bins {
+		if c > h.bins[best] {
+			best = i
+		}
+	}
+	return h.lo + (float64(best)+0.5)*h.width
+}
+
+// Sparkline renders the histogram as a compact unicode bar string, handy
+// for harness output that mirrors a paper figure's distribution shape.
+func (h *Histogram) Sparkline() string {
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	var max uint64
+	for _, c := range h.bins {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	out := make([]rune, len(h.bins))
+	for i, c := range h.bins {
+		g := int(float64(c) / float64(max) * float64(len(glyphs)-1))
+		out[i] = glyphs[g]
+	}
+	return string(out)
+}
+
+// Series is an append-only (time, value) sequence for tracking a metric's
+// trajectory over simulation time — the raw material of every "figure".
+type Series struct {
+	T []float64
+	V []float64
+}
+
+// Append records a point. Times must be non-decreasing.
+func (s *Series) Append(t, v float64) {
+	if n := len(s.T); n > 0 && t < s.T[n-1] {
+		panic("stats: series time went backwards")
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// Last returns the final value, or 0 when empty.
+func (s *Series) Last() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// At returns the value in effect at time t (step interpolation, i.e. the
+// last point with T <= t); 0 before the first point.
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.T, t)
+	if i < len(s.T) && s.T[i] == t {
+		return s.V[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.V[i-1]
+}
+
+// Mean returns the unweighted mean of the values.
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// EWMA is an exponentially weighted moving average, the smoothing element
+// used by feedback controllers.
+type EWMA struct {
+	Alpha float64
+	val   float64
+	init  bool
+}
+
+// Update folds in a new observation and returns the new average.
+func (e *EWMA) Update(v float64) float64 {
+	if !e.init {
+		e.val = v
+		e.init = true
+		return v
+	}
+	e.val = e.Alpha*v + (1-e.Alpha)*e.val
+	return e.val
+}
+
+// Value returns the current average (0 before any update).
+func (e *EWMA) Value() float64 { return e.val }
+
+// Entropy returns the Shannon entropy (bits) of a discrete distribution
+// given as non-negative counts. Used to quantify role differentiation in a
+// Wandering Network (Figure 1's "different shapes of the nodes").
+func Entropy(counts []int) float64 {
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}

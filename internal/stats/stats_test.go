@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Sum() != 15 || s.Mean() != 3 {
+		t.Fatalf("n=%d sum=%v mean=%v", s.N(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("median=%v", s.Median())
+	}
+	if math.Abs(s.Var()-2) > 1e-12 {
+		t.Fatalf("var=%v", s.Var())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary()
+	if s.Mean() != 0 || s.Var() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty summary should return zeros")
+	}
+}
+
+func TestSummaryPercentileBounds(t *testing.T) {
+	s := NewSummary()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Percentile(0) != 1 || s.Percentile(100) != 100 {
+		t.Fatalf("p0=%v p100=%v", s.Percentile(0), s.Percentile(100))
+	}
+	p95 := s.Percentile(95)
+	if p95 < 94 || p95 > 97 {
+		t.Fatalf("p95=%v", p95)
+	}
+}
+
+func TestSummaryPercentileMonotone(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		s := NewSummary()
+		x := uint64(seed)
+		for i := 0; i < 30; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			s.Add(float64(x % 1000))
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryAddAfterPercentile(t *testing.T) {
+	s := NewSummary()
+	s.Add(5)
+	s.Add(1)
+	_ = s.Median()
+	s.Add(9)
+	if s.Max() != 9 || s.Percentile(100) != 9 {
+		t.Fatal("summary stale after post-sort Add")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("a", 1)
+	c.Inc("b", 2)
+	c.Inc("a", 3)
+	if c.Get("a") != 4 || c.Get("b") != 2 || c.Get("zzz") != 0 {
+		t.Fatalf("a=%v b=%v", c.Get("a"), c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names=%v", names)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Count() != 12 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 1 {
+			t.Fatalf("bin %d = %d", i, h.Bin(i))
+		}
+	}
+	if h.under != 1 || h.over != 1 {
+		t.Fatalf("under=%d over=%d", h.under, h.over)
+	}
+}
+
+func TestHistogramRightEdge(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.Add(0.9999999999999999) // rounds to bin index 3 without the guard
+	if h.over != 0 && h.Bin(2) == 0 {
+		t.Fatal("right-edge value lost")
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 5; i++ {
+		h.Add(7.3)
+	}
+	h.Add(1.1)
+	if m := h.Mode(); m != 7.5 {
+		t.Fatalf("mode=%v", m)
+	}
+}
+
+func TestHistogramSparkline(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.5)
+	s := h.Sparkline()
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline %q", s)
+	}
+	if NewHistogram(0, 1, 3).Sparkline() != "" {
+		t.Fatal("empty histogram sparkline should be empty")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(0, 10)
+	s.Append(5, 20)
+	s.Append(10, 30)
+	if s.Len() != 3 || s.Last() != 30 {
+		t.Fatalf("len=%d last=%v", s.Len(), s.Last())
+	}
+	if s.At(-1) != 0 || s.At(0) != 10 || s.At(7) != 20 || s.At(10) != 30 || s.At(99) != 30 {
+		t.Fatalf("step lookup wrong: %v %v %v", s.At(0), s.At(7), s.At(99))
+	}
+	if s.Mean() != 20 {
+		t.Fatalf("mean=%v", s.Mean())
+	}
+}
+
+func TestSeriesBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s Series
+	s.Append(5, 1)
+	s.Append(4, 2)
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Update(10) != 10 {
+		t.Fatal("first update should seed")
+	}
+	if v := e.Update(20); v != 15 {
+		t.Fatalf("ewma=%v", v)
+	}
+	if e.Value() != 15 {
+		t.Fatalf("value=%v", e.Value())
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if Entropy([]int{10, 0, 0}) != 0 {
+		t.Fatal("degenerate distribution should have zero entropy")
+	}
+	if h := Entropy([]int{5, 5}); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("uniform 2-way entropy = %v", h)
+	}
+	if h := Entropy([]int{1, 1, 1, 1}); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("uniform 4-way entropy = %v", h)
+	}
+	if Entropy(nil) != 0 {
+		t.Fatal("empty entropy")
+	}
+}
+
+func TestEntropyMaxAtUniform(t *testing.T) {
+	if err := quick.Check(func(a, b uint8) bool {
+		x, y := int(a)+1, int(b)+1
+		return Entropy([]int{x, y}) <= 1.0+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 200)
+	out := tb.String()
+	if !strings.Contains(out, "T1") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 || tb.Cell(0, 0) != "alpha" {
+		t.Fatalf("cell access broken")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`x,"y`, 2)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,""y"`) {
+		t.Fatalf("csv escaping: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("csv header: %q", csv)
+	}
+}

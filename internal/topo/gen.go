@@ -1,0 +1,150 @@
+package topo
+
+import (
+	"math"
+
+	"viator/internal/sim"
+)
+
+// Ring builds a bidirectional ring of n nodes with unit link cost, the
+// smallest topology that exercises multi-hop forwarding.
+func Ring(n int) *Graph {
+	g := New()
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		g.ConnectBoth(NodeID(i), NodeID((i+1)%n), 1)
+		angle := 2 * math.Pi * float64(i) / float64(n)
+		g.SetPos(NodeID(i), Point{math.Cos(angle), math.Sin(angle)})
+	}
+	return g
+}
+
+// Grid builds a rows×cols bidirectional mesh with unit link cost.
+func Grid(rows, cols int) *Graph {
+	g := New()
+	g.AddNodes(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.SetPos(id(r, c), Point{float64(c), float64(r)})
+			if c+1 < cols {
+				g.ConnectBoth(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				g.ConnectBoth(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return g
+}
+
+// Line builds a chain of n nodes — the degenerate topology used by
+// protocol-booster and booster-vs-e2e experiments.
+func Line(n int) *Graph {
+	g := New()
+	g.AddNodes(n)
+	for i := 0; i+1 < n; i++ {
+		g.ConnectBoth(NodeID(i), NodeID(i+1), 1)
+		g.SetPos(NodeID(i), Point{float64(i), 0})
+	}
+	if n > 0 {
+		g.SetPos(NodeID(n-1), Point{float64(n - 1), 0})
+	}
+	return g
+}
+
+// Star builds a hub with n-1 leaves; node 0 is the hub.
+func Star(n int) *Graph {
+	g := New()
+	g.AddNodes(n)
+	for i := 1; i < n; i++ {
+		g.ConnectBoth(0, NodeID(i), 1)
+		angle := 2 * math.Pi * float64(i) / float64(n-1)
+		g.SetPos(NodeID(i), Point{math.Cos(angle), math.Sin(angle)})
+	}
+	return g
+}
+
+// RandomGeometric scatters n nodes uniformly on a side×side square and
+// connects pairs within radius (cost = distance). This is the standard
+// ad-hoc radio connectivity model.
+func RandomGeometric(n int, side, radius float64, rng *sim.RNG) *Graph {
+	g := New()
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		g.SetPos(NodeID(i), Point{rng.Float64() * side, rng.Float64() * side})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := g.Pos(NodeID(i)).Dist(g.Pos(NodeID(j)))
+			if d <= radius {
+				g.ConnectBoth(NodeID(i), NodeID(j), d)
+			}
+		}
+	}
+	return g
+}
+
+// Waxman builds the classic Waxman random topology on a unit square:
+// P(link) = alpha * exp(-d / (beta * L)) with L the diagonal. It produces
+// internet-like sparse meshes for backbone experiments.
+func Waxman(n int, alpha, beta float64, rng *sim.RNG) *Graph {
+	g := New()
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		g.SetPos(NodeID(i), Point{rng.Float64(), rng.Float64()})
+	}
+	L := math.Sqrt2
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := g.Pos(NodeID(i)).Dist(g.Pos(NodeID(j)))
+			if rng.Float64() < alpha*math.Exp(-d/(beta*L)) {
+				g.ConnectBoth(NodeID(i), NodeID(j), d+0.01)
+			}
+		}
+	}
+	return g
+}
+
+// ConnectedWaxman retries Waxman generation, patching isolated components
+// together with nearest-pair links, until the graph is connected. The
+// result is always usable as an experiment backbone.
+func ConnectedWaxman(n int, alpha, beta float64, rng *sim.RNG) *Graph {
+	g := Waxman(n, alpha, beta, rng)
+	comps := g.Components()
+	for len(comps) > 1 {
+		// Stitch the first two components at their closest node pair.
+		bi, bj := comps[0][0], comps[1][0]
+		best := math.Inf(1)
+		for _, a := range comps[0] {
+			for _, b := range comps[1] {
+				if d := g.Pos(a).Dist(g.Pos(b)); d < best {
+					best, bi, bj = d, a, b
+				}
+			}
+		}
+		g.ConnectBoth(bi, bj, best+0.01)
+		comps = g.Components()
+	}
+	return g
+}
+
+// PaperFigure builds the 6-node / 8-link topology drawn in Figures 3 and 4
+// of the paper (nodes N1..N6 → IDs 0..5, links L1..L8). All figure-level
+// wandering experiments run on this exact graph.
+//
+//	L1: N1-N2   L2: N1-N3   L3: N2-N3   L4: N3-N4
+//	L5: N3-N5   L6: N4-N5   L7: N5-N6   L8: N2-N6
+func PaperFigure() *Graph {
+	g := New()
+	g.AddNodes(6)
+	pairs := [8][2]NodeID{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}, {4, 5}, {1, 5}}
+	for _, p := range pairs {
+		g.ConnectBoth(p[0], p[1], 1)
+	}
+	pos := []Point{{0, 1}, {1, 2}, {1, 0}, {2, 1}, {3, 0}, {3, 2}}
+	for i, p := range pos {
+		g.SetPos(NodeID(i), p)
+	}
+	return g
+}

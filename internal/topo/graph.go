@@ -1,0 +1,336 @@
+// Package topo provides the network topology substrate: weighted graphs
+// with dynamic link state, shortest-path routing, connectivity analysis,
+// standard generators (ring, grid, random geometric, Waxman) and DOT/ASCII
+// export for the figure-reproduction harness.
+package topo
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within one Graph.
+type NodeID int
+
+// Link is a directed edge with a routing cost. Graphs store both directions
+// explicitly so asymmetric links (common in ad-hoc radio) are expressible.
+type Link struct {
+	From, To NodeID
+	Cost     float64
+	Up       bool
+}
+
+// Graph is a mutable directed graph with stable node identifiers.
+// It is not safe for concurrent mutation.
+type Graph struct {
+	n    int
+	adj  [][]int // per-node indexes into links
+	link []Link
+	pos  []Point // optional geometry, used by geometric generators
+}
+
+// Point is a 2-D coordinate used by geometric topologies and mobility.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode appends a node and returns its identifier.
+func (g *Graph) AddNode() NodeID {
+	g.adj = append(g.adj, nil)
+	g.pos = append(g.pos, Point{})
+	g.n++
+	return NodeID(g.n - 1)
+}
+
+// AddNodes appends k nodes and returns the first new identifier.
+func (g *Graph) AddNodes(k int) NodeID {
+	first := NodeID(g.n)
+	for i := 0; i < k; i++ {
+		g.AddNode()
+	}
+	return first
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// SetPos assigns a geometric position to a node.
+func (g *Graph) SetPos(id NodeID, p Point) { g.pos[id] = p }
+
+// Pos returns a node's geometric position.
+func (g *Graph) Pos(id NodeID) Point { return g.pos[id] }
+
+// Connect adds a directed link and returns its index. Duplicate links are
+// allowed and treated as parallel edges.
+func (g *Graph) Connect(from, to NodeID, cost float64) int {
+	if from == to {
+		panic("topo: self-loop")
+	}
+	g.link = append(g.link, Link{From: from, To: to, Cost: cost, Up: true})
+	idx := len(g.link) - 1
+	g.adj[from] = append(g.adj[from], idx)
+	return idx
+}
+
+// ConnectBoth adds links in both directions with equal cost and returns
+// the two link indexes.
+func (g *Graph) ConnectBoth(a, b NodeID, cost float64) (int, int) {
+	return g.Connect(a, b, cost), g.Connect(b, a, cost)
+}
+
+// Links returns the number of links (directed).
+func (g *Graph) Links() int { return len(g.link) }
+
+// Link returns a copy of link i.
+func (g *Graph) Link(i int) Link { return g.link[i] }
+
+// SetUp marks link i up or down. Down links are invisible to routing.
+func (g *Graph) SetUp(i int, up bool) { g.link[i].Up = up }
+
+// SetCost updates link i's routing cost.
+func (g *Graph) SetCost(i int, c float64) { g.link[i].Cost = c }
+
+// Neighbors returns the IDs reachable from id over up links, in link
+// insertion order (deterministic).
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for _, li := range g.adj[id] {
+		if g.link[li].Up {
+			out = append(out, g.link[li].To)
+		}
+	}
+	return out
+}
+
+// OutLinks returns indexes of up links leaving id.
+func (g *Graph) OutLinks(id NodeID) []int {
+	var out []int
+	for _, li := range g.adj[id] {
+		if g.link[li].Up {
+			out = append(out, li)
+		}
+	}
+	return out
+}
+
+// FindLink returns the index of the first up link from→to, or -1.
+func (g *Graph) FindLink(from, to NodeID) int {
+	for _, li := range g.adj[from] {
+		if g.link[li].Up && g.link[li].To == to {
+			return li
+		}
+	}
+	return -1
+}
+
+// Degree returns the number of up out-links at id.
+func (g *Graph) Degree(id NodeID) int {
+	d := 0
+	for _, li := range g.adj[id] {
+		if g.link[li].Up {
+			d++
+		}
+	}
+	return d
+}
+
+// spItem is a priority queue element for Dijkstra.
+type spItem struct {
+	node NodeID
+	dist float64
+}
+
+type spHeap []spItem
+
+func (h spHeap) Len() int           { return len(h) }
+func (h spHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h spHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *spHeap) Push(x any)        { *h = append(*h, x.(spItem)) }
+func (h *spHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// SPT holds a single-source shortest path tree.
+type SPT struct {
+	Source NodeID
+	Dist   []float64 // +Inf when unreachable
+	Prev   []NodeID  // -1 at source / unreachable
+}
+
+// Dijkstra computes shortest paths from src over up links using Cost as
+// the metric. Negative costs panic.
+func (g *Graph) Dijkstra(src NodeID) *SPT {
+	t := &SPT{Source: src, Dist: make([]float64, g.n), Prev: make([]NodeID, g.n)}
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.Prev[i] = -1
+	}
+	t.Dist[src] = 0
+	h := &spHeap{{src, 0}}
+	done := make([]bool, g.n)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(spItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, li := range g.adj[u] {
+			l := g.link[li]
+			if !l.Up {
+				continue
+			}
+			if l.Cost < 0 {
+				panic("topo: negative link cost")
+			}
+			nd := t.Dist[u] + l.Cost
+			if nd < t.Dist[l.To] {
+				t.Dist[l.To] = nd
+				t.Prev[l.To] = u
+				heap.Push(h, spItem{l.To, nd})
+			}
+		}
+	}
+	return t
+}
+
+// PathTo reconstructs the node sequence src..dst, or nil when unreachable.
+func (t *SPT) PathTo(dst NodeID) []NodeID {
+	if math.IsInf(t.Dist[dst], 1) {
+		return nil
+	}
+	var rev []NodeID
+	for v := dst; v != -1; v = t.Prev[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// NextHop returns the first hop on the path source→dst, or -1.
+func (t *SPT) NextHop(dst NodeID) NodeID {
+	p := t.PathTo(dst)
+	if len(p) < 2 {
+		return -1
+	}
+	return p[1]
+}
+
+// Reachable returns the set of nodes reachable from src over up links
+// (including src), via BFS.
+func (g *Graph) Reachable(src NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{src: true}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, li := range g.adj[u] {
+			l := g.link[li]
+			if l.Up && !seen[l.To] {
+				seen[l.To] = true
+				queue = append(queue, l.To)
+			}
+		}
+	}
+	return seen
+}
+
+// Connected reports whether every node can reach every other node.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	if len(g.Reachable(0)) != g.n {
+		return false
+	}
+	// For directed graphs also check the reverse orientation.
+	rev := New()
+	rev.AddNodes(g.n)
+	for _, l := range g.link {
+		if l.Up {
+			rev.Connect(l.To, l.From, l.Cost)
+		}
+	}
+	return len(rev.Reachable(0)) == g.n
+}
+
+// Components returns the weakly connected components as sorted ID slices.
+func (g *Graph) Components() [][]NodeID {
+	und := New()
+	und.AddNodes(g.n)
+	for _, l := range g.link {
+		if l.Up {
+			und.Connect(l.From, l.To, 1)
+			und.Connect(l.To, l.From, 1)
+		}
+	}
+	seen := make([]bool, g.n)
+	var comps [][]NodeID
+	for i := 0; i < g.n; i++ {
+		if seen[i] {
+			continue
+		}
+		var comp []NodeID
+		for id := range und.Reachable(NodeID(i)) {
+			if !seen[id] {
+				seen[id] = true
+				comp = append(comp, id)
+			}
+		}
+		sort.Slice(comp, func(a, b int) bool { return comp[a] < comp[b] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(a, b int) bool { return comps[a][0] < comps[b][0] })
+	return comps
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n}
+	c.adj = make([][]int, len(g.adj))
+	for i, a := range g.adj {
+		c.adj[i] = append([]int(nil), a...)
+	}
+	c.link = append([]Link(nil), g.link...)
+	c.pos = append([]Point(nil), g.pos...)
+	return c
+}
+
+// DOT renders the graph in Graphviz format with optional node labels.
+func (g *Graph) DOT(name string, label func(NodeID) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	for i := 0; i < g.n; i++ {
+		l := fmt.Sprintf("n%d", i)
+		if label != nil {
+			l = label(NodeID(i))
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, l)
+	}
+	for _, l := range g.link {
+		if !l.Up {
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\"];\n", l.From, l.To, l.Cost)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// AllLinks returns indexes of all links leaving id, up or down, in
+// insertion order. Mobility models use it to recycle torn-down links.
+func (g *Graph) AllLinks(id NodeID) []int {
+	out := make([]int, len(g.adj[id]))
+	copy(out, g.adj[id])
+	return out
+}

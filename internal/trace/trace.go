@@ -1,0 +1,84 @@
+// Package trace is a bounded structured event log for simulations: a
+// ring buffer of timestamped events with category filtering and text
+// dump, cheap enough to leave enabled in experiments.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Time     float64
+	Category string
+	Message  string
+}
+
+// Log is a fixed-capacity ring buffer of events.
+type Log struct {
+	buf   []Event
+	next  int
+	count uint64
+	// Enabled switches recording globally; a disabled log drops events.
+	Enabled bool
+}
+
+// New creates a log holding the most recent capacity events.
+func New(capacity int) *Log {
+	if capacity < 1 {
+		panic("trace: capacity must be positive")
+	}
+	return &Log{buf: make([]Event, 0, capacity), Enabled: true}
+}
+
+// Add records an event.
+func (l *Log) Add(t float64, category, format string, args ...any) {
+	if !l.Enabled {
+		return
+	}
+	e := Event{Time: t, Category: category, Message: fmt.Sprintf(format, args...)}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.count++
+}
+
+// Total returns how many events were ever recorded (including evicted).
+func (l *Log) Total() uint64 { return l.count }
+
+// Events returns retained events oldest-first.
+func (l *Log) Events() []Event {
+	if len(l.buf) < cap(l.buf) {
+		out := make([]Event, len(l.buf))
+		copy(out, l.buf)
+		return out
+	}
+	out := make([]Event, 0, cap(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Filter returns retained events of one category, oldest-first.
+func (l *Log) Filter(category string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Category == category {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders retained events as text.
+func (l *Log) Dump() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		fmt.Fprintf(&b, "%10.4f [%s] %s\n", e.Time, e.Category, e.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := New(10)
+	l.Add(1, "dock", "ship %d", 7)
+	l.Add(2, "role", "switch")
+	ev := l.Events()
+	if len(ev) != 2 || ev[0].Message != "ship 7" || ev[1].Category != "role" {
+		t.Fatalf("events = %v", ev)
+	}
+	if l.Total() != 2 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 5; i++ {
+		l.Add(float64(i), "c", "e%d", i)
+	}
+	ev := l.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained = %d", len(ev))
+	}
+	if ev[0].Message != "e2" || ev[2].Message != "e4" {
+		t.Fatalf("wrong retention order: %v", ev)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(10)
+	l.Add(1, "a", "x")
+	l.Add(2, "b", "y")
+	l.Add(3, "a", "z")
+	got := l.Filter("a")
+	if len(got) != 2 || got[1].Message != "z" {
+		t.Fatalf("filter = %v", got)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	l := New(4)
+	l.Enabled = false
+	l.Add(1, "c", "dropped")
+	if l.Total() != 0 || len(l.Events()) != 0 {
+		t.Fatal("disabled log recorded")
+	}
+}
+
+func TestDump(t *testing.T) {
+	l := New(4)
+	l.Add(1.5, "dock", "hello")
+	out := l.Dump()
+	if !strings.Contains(out, "[dock] hello") {
+		t.Fatalf("dump = %q", out)
+	}
+}

@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates WanderScript assembly text into a Program. Syntax:
+// one instruction per line, `;` comments, `label:` definitions, and label
+// or integer operands for jump instructions.
+//
+//	    PUSH 10
+//	loop:
+//	    DUP
+//	    JZ done      ; exit when counter hits zero
+//	    PUSH 1
+//	    SUB
+//	    JMP loop
+//	done:
+//	    HALT
+func Assemble(src string) (Program, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	var prog Program
+	labels := make(map[string]int)
+	var fixups []pending
+
+	mnemonics := make(map[string]Op)
+	for op := Op(0); op < numOps; op++ {
+		mnemonics[op.String()] = op
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Possibly "label: INSTR ..." or bare "label:".
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("vm: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("vm: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		op, ok := mnemonics[strings.ToUpper(fields[0])]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: unknown mnemonic %q", lineNo+1, fields[0])
+		}
+		in := Instr{Op: op}
+		if op.hasOperand() {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("vm: line %d: %s needs one operand", lineNo+1, op)
+			}
+			if v, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				in.Arg = v
+			} else {
+				fixups = append(fixups, pending{len(prog), fields[1], lineNo + 1})
+			}
+		} else if len(fields) != 1 {
+			return nil, fmt.Errorf("vm: line %d: %s takes no operand", lineNo+1, op)
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.instr].Arg = int64(target)
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble that panics on error, for compile-time-constant
+// programs in examples and workload generators.
+func MustAssemble(src string) Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

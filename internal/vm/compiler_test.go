@@ -1,0 +1,167 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalT(t *testing.T, expr string, vals map[string]int64) int64 {
+	t.Helper()
+	got, err := Eval(expr, vals, 10000)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", expr, err)
+	}
+	return got
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1+2", 3},
+		{"2*3+4", 10},
+		{"2+3*4", 14},
+		{"(2+3)*4", 20},
+		{"10-4-3", 3},   // left associative
+		{"100/5/2", 10}, // left associative
+		{"17%5", 2},
+		{"-7", -7},
+		{"- - 7", 7},
+		{"2*-3", -6},
+	}
+	for _, c := range cases {
+		if got := evalT(t, c.expr, nil); got != c.want {
+			t.Fatalf("%q = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestCompileComparisonsAndLogic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 < 2", 1},
+		{"2 < 1", 0},
+		{"2 <= 2", 1},
+		{"3 <= 2", 0},
+		{"2 >= 2", 1},
+		{"1 >= 2", 0},
+		{"1 == 1", 1},
+		{"1 != 1", 0},
+		{"1 != 2", 1},
+		{"1 < 2 && 3 < 4", 1},
+		{"1 < 2 && 4 < 3", 0},
+		{"1 > 2 || 3 < 4", 1},
+		{"!(1 < 2)", 0},
+		{"!0", 1},
+	}
+	for _, c := range cases {
+		if got := evalT(t, c.expr, nil); got != c.want {
+			t.Fatalf("%q = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestCompileVariables(t *testing.T) {
+	vals := map[string]int64{"rate": 120, "limit": 100, "penalty": 7}
+	if got := evalT(t, "rate > limit", vals); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	if got := evalT(t, "(rate - limit) * penalty", vals); got != 140 {
+		t.Fatalf("got %d", got)
+	}
+	if got := evalT(t, "rate % limit + penalty", vals); got != 27 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"1 +",
+		"(1+2",
+		"1 + * 2",
+		"unknown_var",
+		"1 $ 2",
+		"1 2",
+		"99999999999999999999", // overflow
+	}
+	for _, expr := range cases {
+		if _, err := Eval(expr, nil, 1000); err == nil {
+			t.Fatalf("Eval(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestCompiledProgramsAreMobile(t *testing.T) {
+	// The whole point: compile a method, encode it, ship it, decode it,
+	// run it remotely.
+	prog, err := Compile("x*x + 1", map[string]int{"x": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Decode(Encode(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(remote, 1000)
+	m.SetReg(3, 9)
+	got, err := m.Run()
+	if err != nil || got != 82 {
+		t.Fatalf("remote run = %d, %v", got, err)
+	}
+}
+
+func TestCompileDivZeroSurfacesAtRuntime(t *testing.T) {
+	if _, err := Eval("1/0", nil, 1000); err != ErrDivZero {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompilePropertyMatchesGo(t *testing.T) {
+	// Compiled arithmetic agrees with native Go on random operand trios.
+	if err := quick.Check(func(a, b, c int16) bool {
+		vals := map[string]int64{"a": int64(a), "b": int64(b), "c": int64(c)}
+		got, err := Eval("a*b + c - a", vals, 10000)
+		if err != nil {
+			return false
+		}
+		want := int64(a)*int64(b) + int64(c) - int64(a)
+		return got == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(a, b int16) bool {
+		vals := map[string]int64{"a": int64(a), "b": int64(b)}
+		got, err := Eval("a < b || a == b", vals, 10000)
+		if err != nil {
+			return false
+		}
+		want := int64(0)
+		if a <= b {
+			want = 1
+		}
+		return got == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileGasBounded(t *testing.T) {
+	// Even compiled code respects the gas limit.
+	if _, err := Eval("1+2+3+4+5", nil, 3); err != ErrGas {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvalTooManyVariables(t *testing.T) {
+	vals := map[string]int64{}
+	for i := 0; i < NumRegisters+1; i++ {
+		vals[string(rune('a'+i))] = 1
+	}
+	if _, err := Eval("a", vals, 100); err == nil {
+		t.Fatal("register overflow unchecked")
+	}
+}

@@ -1,0 +1,152 @@
+// Package workload provides the traffic generators the experiments and
+// example applications drive their networks with: constant-bit-rate
+// media streams, Poisson packet arrivals, Zipf-popular content requests,
+// bursty on/off sources and geometric sensor fields. Generators schedule
+// themselves on a sim.Kernel and are deterministic per RNG.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"viator/internal/roles"
+	"viator/internal/sim"
+	"viator/internal/topo"
+)
+
+// CBR schedules a constant-bit-rate stream: chunkBytes every
+// chunkBytes/rateBps seconds, calling emit with sequenced chunks. Stop
+// the returned ticker to end the stream.
+func CBR(k *sim.Kernel, stream string, rateBps float64, chunkBytes int, emit func(roles.Chunk)) *sim.Ticker {
+	if rateBps <= 0 || chunkBytes <= 0 {
+		panic("workload: bad CBR parameters")
+	}
+	period := float64(chunkBytes) / rateBps
+	seq := 0
+	return k.Every(period, func() {
+		emit(roles.Chunk{Stream: stream, Seq: seq, Bytes: chunkBytes})
+		seq++
+	})
+}
+
+// Poisson schedules packet arrivals with exponential inter-arrival times
+// of the given mean rate (events/second). It reschedules itself until
+// the returned stop function is called.
+func Poisson(k *sim.Kernel, rng *sim.RNG, rate float64, emit func(seq int)) (stop func()) {
+	if rate <= 0 {
+		panic("workload: bad Poisson rate")
+	}
+	stopped := false
+	seq := 0
+	var arm func()
+	arm = func() {
+		k.After(rng.Exp(1/rate), func() {
+			if stopped {
+				return
+			}
+			emit(seq)
+			seq++
+			arm()
+		})
+	}
+	arm()
+	return func() { stopped = true }
+}
+
+// ZipfRequests generates content requests over a catalog of n objects
+// with Zipf(s) popularity at the given rate. Keys are "obj-<i>" with
+// low i the popular objects — the cache-role workload.
+func ZipfRequests(k *sim.Kernel, rng *sim.RNG, n int, s, rate float64, emit func(roles.Chunk)) (stop func()) {
+	if n <= 0 {
+		panic("workload: empty catalog")
+	}
+	// Precompute the harmonic CDF once; rng.Zipf would rescan per draw.
+	cdf := make([]float64, n)
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = h
+	}
+	seq := 0
+	return Poisson(k, rng, rate, func(int) {
+		u := rng.Float64() * h
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		emit(roles.Chunk{Stream: "req", Seq: seq, Key: fmt.Sprintf("obj-%d", lo), Meta: "request"})
+		seq++
+	})
+}
+
+// OnOff schedules a bursty source: exponentially distributed ON periods
+// (mean onMean) emitting at rateBps, separated by OFF periods (mean
+// offMean) of silence — the adversarial load for feedback controllers.
+func OnOff(k *sim.Kernel, rng *sim.RNG, stream string, rateBps, onMean, offMean float64, chunkBytes int, emit func(roles.Chunk)) (stop func()) {
+	stopped := false
+	seq := 0
+	period := float64(chunkBytes) / rateBps
+	var onPhase func(until float64)
+	var offPhase func()
+	onPhase = func(until float64) {
+		if stopped {
+			return
+		}
+		if k.Now() >= until {
+			offPhase()
+			return
+		}
+		emit(roles.Chunk{Stream: stream, Seq: seq, Bytes: chunkBytes})
+		seq++
+		k.After(period, func() { onPhase(until) })
+	}
+	offPhase = func() {
+		if stopped {
+			return
+		}
+		k.After(rng.Exp(offMean), func() {
+			if stopped {
+				return
+			}
+			onPhase(k.Now() + rng.Exp(onMean))
+		})
+	}
+	// Start in an ON burst.
+	k.After(0, func() { onPhase(k.Now() + rng.Exp(onMean)) })
+	return func() { stopped = true }
+}
+
+// SensorReading is one observation from a sensor field.
+type SensorReading struct {
+	Sensor topo.NodeID
+	Seq    int
+	Bytes  int
+}
+
+// SensorField schedules periodic readings from every listed sensor with
+// per-sensor phase jitter (so readings don't synchronize). Stop the
+// returned tickers to silence the field.
+func SensorField(k *sim.Kernel, rng *sim.RNG, sensors []topo.NodeID, period float64, bytes int, emit func(SensorReading)) []*sim.Ticker {
+	var out []*sim.Ticker
+	for _, s := range sensors {
+		s := s
+		seq := 0
+		jitter := rng.Float64() * period
+		// Phase-shift the first tick, then run periodically.
+		k.After(jitter, func() {
+			emit(SensorReading{Sensor: s, Seq: seq, Bytes: bytes})
+			seq++
+		})
+		t := k.Every(period, func() {
+			emit(SensorReading{Sensor: s, Seq: seq, Bytes: bytes})
+			seq++
+		})
+		out = append(out, t)
+	}
+	return out
+}

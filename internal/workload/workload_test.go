@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"viator/internal/roles"
+	"viator/internal/sim"
+	"viator/internal/topo"
+)
+
+func TestCBRRate(t *testing.T) {
+	k := sim.NewKernel(1)
+	var bytes int
+	var seqs []int
+	tk := CBR(k, "video", 100000, 1000, func(c roles.Chunk) {
+		bytes += c.Bytes
+		seqs = append(seqs, c.Seq)
+	})
+	k.Run(10)
+	tk.Stop()
+	// 100 kB/s over 10 s = 1 MB.
+	if math.Abs(float64(bytes)-1e6) > 1e4 {
+		t.Fatalf("bytes = %d", bytes)
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatal("sequence gap")
+		}
+	}
+}
+
+func TestCBRStops(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := 0
+	tk := CBR(k, "s", 1000, 100, func(roles.Chunk) { n++ })
+	k.Run(1)
+	tk.Stop()
+	before := n
+	k.Run(10)
+	if n != before {
+		t.Fatal("stream after stop")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	k := sim.NewKernel(2)
+	rng := sim.NewRNG(3)
+	n := 0
+	stop := Poisson(k, rng, 50, func(int) { n++ })
+	k.Run(100)
+	stop()
+	// 50/s × 100 s = 5000 ± a few percent.
+	if n < 4500 || n > 5500 {
+		t.Fatalf("poisson events = %d, want ~5000", n)
+	}
+}
+
+func TestPoissonStopHalts(t *testing.T) {
+	k := sim.NewKernel(2)
+	rng := sim.NewRNG(3)
+	n := 0
+	stop := Poisson(k, rng, 100, func(int) { n++ })
+	k.Run(1)
+	stop()
+	before := n
+	k.Run(50)
+	if n != before {
+		t.Fatal("events after stop")
+	}
+}
+
+func TestZipfRequestsSkewAndKeys(t *testing.T) {
+	k := sim.NewKernel(4)
+	rng := sim.NewRNG(5)
+	counts := map[string]int{}
+	stop := ZipfRequests(k, rng, 20, 1.0, 200, func(c roles.Chunk) {
+		if c.Meta != "request" || !strings.HasPrefix(c.Key, "obj-") {
+			t.Fatalf("bad request chunk: %+v", c)
+		}
+		counts[c.Key]++
+	})
+	k.Run(50)
+	stop()
+	if counts["obj-0"] <= counts["obj-10"] {
+		t.Fatalf("no popularity skew: %v", counts)
+	}
+	if len(counts) < 10 {
+		t.Fatalf("catalog coverage too small: %d keys", len(counts))
+	}
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	k := sim.NewKernel(6)
+	rng := sim.NewRNG(7)
+	var times []float64
+	stop := OnOff(k, rng, "burst", 100000, 0.5, 2.0, 1000, func(c roles.Chunk) {
+		times = append(times, k.Now())
+	})
+	k.Run(60)
+	stop()
+	if len(times) < 50 {
+		t.Fatalf("too few chunks: %d", len(times))
+	}
+	// Burstiness: the inter-arrival distribution must be bimodal — many
+	// short gaps (in-burst) and some long gaps (off periods).
+	short, long := 0, 0
+	for i := 1; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap < 0.05 {
+			short++
+		}
+		if gap > 0.5 {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("not bursty: short=%d long=%d", short, long)
+	}
+	// Duty cycle well below 100%: delivered volume far under rate×time.
+	if float64(len(times)*1000) > 0.8*100000*60/1000*1000 {
+		t.Fatalf("source not gated: %d chunks", len(times))
+	}
+}
+
+func TestSensorFieldCoverageAndJitter(t *testing.T) {
+	k := sim.NewKernel(8)
+	rng := sim.NewRNG(9)
+	sensors := []topo.NodeID{3, 4, 5}
+	perSensor := map[topo.NodeID]int{}
+	var firstTimes []float64
+	seen := map[topo.NodeID]bool{}
+	ticks := SensorField(k, rng, sensors, 1.0, 500, func(r SensorReading) {
+		perSensor[r.Sensor]++
+		if !seen[r.Sensor] {
+			seen[r.Sensor] = true
+			firstTimes = append(firstTimes, k.Now())
+		}
+		if r.Bytes != 500 {
+			t.Fatalf("reading bytes = %d", r.Bytes)
+		}
+	})
+	k.Run(10)
+	for _, tk := range ticks {
+		tk.Stop()
+	}
+	for _, s := range sensors {
+		if perSensor[s] < 9 || perSensor[s] > 12 {
+			t.Fatalf("sensor %d readings = %d", s, perSensor[s])
+		}
+	}
+	// Jitter: the three first-reading times are not identical.
+	if firstTimes[0] == firstTimes[1] && firstTimes[1] == firstTimes[2] {
+		t.Fatal("sensors synchronized despite jitter")
+	}
+}

@@ -1,0 +1,65 @@
+package viator
+
+import (
+	"viator/internal/mobility"
+	"viator/internal/routing"
+)
+
+// Ship mobility: "the main distinction from other AN approaches
+// elsewhere is that the active nodes (ships) are considered to be
+// mobile". EnableMobility attaches a mobility model to the fleet: node
+// positions advance continuously, radio-range connectivity is refreshed
+// periodically, and the adaptive router re-pulses after every refresh so
+// shuttles keep flowing over the changing topology.
+
+// Mobility drives a Network's physical layer.
+type Mobility struct {
+	net    *Network
+	model  mobility.Model
+	radius float64
+
+	// Refreshes counts connectivity rebuilds; Partitions counts refreshes
+	// that left the fleet disconnected.
+	Refreshes  uint64
+	Partitions uint64
+	// AODV is the on-demand route fallback available to experiments.
+	AODV *routing.AODV
+}
+
+// EnableMobility arms continuous ship movement. The model must cover
+// len(Ships) nodes; radius is the radio range; period is the
+// connectivity-refresh interval in virtual seconds.
+func (n *Network) EnableMobility(model mobility.Model, radius, period float64) *Mobility {
+	if len(model.Positions()) != len(n.Ships) {
+		panic("viator: mobility model size mismatch")
+	}
+	m := &Mobility{net: n, model: model, radius: radius, AODV: routing.NewAODV(n.G)}
+	last := n.Now()
+	n.K.Every(period, func() {
+		dt := n.Now() - last
+		last = n.Now()
+		pos := model.Step(dt)
+		mobility.Connectivity(n.G, pos, radius)
+		m.Refreshes++
+		if !n.G.Connected() {
+			m.Partitions++
+		}
+		// Re-route: the adaptive tables and on-demand caches are stale.
+		for li := 0; li < n.G.Links(); li++ {
+			n.Router.ObserveUtilization(li, n.Net.Utilization(li))
+		}
+		n.Router.Pulse()
+		n.Trace.Add(n.Now(), "mobility", "connectivity refresh: %d links up", countUp(n))
+	})
+	return m
+}
+
+func countUp(n *Network) int {
+	up := 0
+	for li := 0; li < n.G.Links(); li++ {
+		if n.G.Link(li).Up {
+			up++
+		}
+	}
+	return up
+}

@@ -1,0 +1,74 @@
+package viator
+
+import (
+	"viator/internal/ployon"
+	"viator/internal/ship"
+)
+
+// Self-healing (the paper's footnote 18): "a fault-tolerant network
+// which adapts automatically to defects in its node connectivity,
+// functional specialization and performance disturbances ... automatic
+// aggregation and reconstruction of the disrupted functionality."
+//
+// The healer watches the fleet from the pulse loop: dead ships are
+// rebuilt by genome replication from a congruent donor (the cluster
+// layer's Repair), and the routing layer's caches are invalidated so
+// traffic re-routes around the casualty until the replacement is up.
+
+// Healer runs the self-healing loop of a Network.
+type Healer struct {
+	net *Network
+	// MaxRepairsPerPulse bounds resurrection work per pulse.
+	MaxRepairsPerPulse int
+
+	nextID ployon.ID
+
+	// Repairs counts successful resurrections; Failures counts dead
+	// ships that could not be repaired this far (no donor).
+	Repairs  uint64
+	Failures uint64
+}
+
+// EnableSelfHealing arms the healing loop with the given pulse period
+// and returns the healer for inspection. Healing uses the community's
+// genome-repair path, so only generation-4 fleets can heal.
+func (n *Network) EnableSelfHealing(period float64) *Healer {
+	h := &Healer{net: n, MaxRepairsPerPulse: 2, nextID: ployon.ID(len(n.Ships)) * 1000}
+	n.K.Every(period, func() { h.pulse() })
+	return h
+}
+
+// pulse performs one healing round.
+func (h *Healer) pulse() {
+	n := h.net
+	repaired := 0
+	for i, s := range n.Ships {
+		if s.State() != ship.Dead || repaired >= h.MaxRepairsPerPulse {
+			continue
+		}
+		h.nextID++
+		reborn, err := n.Community.Repair(s.ID, h.nextID, n.Now())
+		if err != nil {
+			h.Failures++
+			continue
+		}
+		// The replacement takes over the dead ship's fleet slot (and
+		// therefore its topology position).
+		n.Ships[i] = reborn
+		n.Morph.Ships[i] = reborn
+		repaired++
+		h.Repairs++
+		n.Trace.Add(n.Now(), "heal", "ship %d reborn as %d (donor genome)", s.ID, reborn.ID)
+	}
+}
+
+// AliveFraction reports the share of fleet slots currently alive.
+func (n *Network) AliveFraction() float64 {
+	alive := 0
+	for _, s := range n.Ships {
+		if s.State() == ship.Alive {
+			alive++
+		}
+	}
+	return float64(alive) / float64(len(n.Ships))
+}

@@ -1,0 +1,134 @@
+package viator
+
+import (
+	"testing"
+
+	"viator/internal/ployon"
+	"viator/internal/roles"
+	"viator/internal/ship"
+	"viator/internal/shuttle"
+	"viator/internal/topo"
+)
+
+func TestSelfHealingRestoresFleet(t *testing.T) {
+	cfg := DefaultConfig(12, 21)
+	cfg.Graph = topo.Grid(3, 4)
+	// Same class everywhere so donors always exist.
+	cfg.ClassOf = func(i int) ployon.Class { return ployon.ClassServer }
+	n := NewNetwork(cfg)
+	n.StartPulses(1.0)
+	h := n.EnableSelfHealing(1.0)
+
+	// Provision a service so repairs must reproduce real state.
+	for _, s := range n.Ships {
+		s.SetModalRole(roles.Transcoding)
+	}
+	n.Run(2)
+	// Kill a third of the fleet.
+	for _, i := range []int{1, 4, 7, 10} {
+		n.Ships[i].Kill()
+	}
+	if n.AliveFraction() > 0.7 {
+		t.Fatalf("kill did not land: %v", n.AliveFraction())
+	}
+	n.Run(10)
+	if n.AliveFraction() != 1.0 {
+		t.Fatalf("fleet not healed: %v (repairs=%d failures=%d)",
+			n.AliveFraction(), h.Repairs, h.Failures)
+	}
+	if h.Repairs != 4 {
+		t.Fatalf("repairs = %d", h.Repairs)
+	}
+	// Reproduced ships carry the donor's function (autopoiesis: the
+	// network reconstructed its disrupted functionality).
+	for _, i := range []int{1, 4, 7, 10} {
+		if n.Ships[i].ModalRole() != roles.Transcoding {
+			t.Fatalf("slot %d reborn without function: %v", i, n.Ships[i].ModalRole())
+		}
+		if n.Ships[i].State() != ship.Alive {
+			t.Fatalf("slot %d not alive", i)
+		}
+	}
+}
+
+func TestSelfHealingBoundedPerPulse(t *testing.T) {
+	cfg := DefaultConfig(10, 22)
+	cfg.ClassOf = func(i int) ployon.Class { return ployon.ClassAgent }
+	n := NewNetwork(cfg)
+	h := n.EnableSelfHealing(1.0)
+	h.MaxRepairsPerPulse = 1
+	for i := 0; i < 5; i++ {
+		n.Ships[i].Kill()
+	}
+	n.Run(1.5) // one pulse
+	if h.Repairs != 1 {
+		t.Fatalf("repairs after one pulse = %d, want 1", h.Repairs)
+	}
+	n.Run(10)
+	if h.Repairs != 5 {
+		t.Fatalf("total repairs = %d", h.Repairs)
+	}
+}
+
+func TestSelfHealingNoDonorFails(t *testing.T) {
+	// A fleet where the killed ship's class has no other member: repair
+	// must fail and be counted, not panic.
+	cfg := DefaultConfig(3, 23)
+	cfg.Graph = topo.Ring(3)
+	cfg.ClassOf = func(i int) ployon.Class {
+		if i == 0 {
+			return ployon.ClassRelay
+		}
+		return ployon.ClassServer
+	}
+	n := NewNetwork(cfg)
+	h := n.EnableSelfHealing(1.0)
+	n.Ships[0].Kill()
+	n.Run(3)
+	if h.Repairs != 0 || h.Failures == 0 {
+		t.Fatalf("repairs=%d failures=%d", h.Repairs, h.Failures)
+	}
+}
+
+// Full-stack integration: traffic + pulses + churn + healing + jets all
+// at once, exercising the whole 4G machinery in one run.
+func TestAutopoieticLifeIntegration(t *testing.T) {
+	cfg := DefaultConfig(20, 99)
+	cfg.UnfairFraction = 0.1
+	cfg.ClassOf = func(i int) ployon.Class { return ployon.Class(i % 2) } // relay/server
+	n := NewNetwork(cfg)
+	n.StartPulses(0.5)
+	n.EnableSelfHealing(1.0)
+	n.InjectJet(0, roles.Caching, 3)
+
+	rng := n.K.Rand.Split()
+	n.K.Every(0.1, func() {
+		src, dst := rng.Intn(20), rng.Intn(20)
+		if src != dst {
+			n.SendShuttle(n.NewShuttle(shuttle.Data, src, dst), "")
+		}
+	})
+	// Random deaths through the run.
+	n.K.Every(4.0, func() {
+		victim := rng.Intn(20)
+		if n.Ships[victim].State() == ship.Alive {
+			n.Ships[victim].Kill()
+		}
+	})
+	n.Run(40)
+
+	if n.AliveFraction() < 0.9 {
+		t.Fatalf("network decayed: alive=%v", n.AliveFraction())
+	}
+	if n.DeliveredShuttles == 0 {
+		t.Fatal("no traffic delivered")
+	}
+	// The unfair minority was excluded by gossip along the way.
+	if len(n.Community.ExcludedIDs()) == 0 {
+		t.Fatal("unfair ships survived")
+	}
+	sn := n.Snapshot()
+	if sn.Alive < 18 {
+		t.Fatalf("snapshot alive = %d", sn.Alive)
+	}
+}
