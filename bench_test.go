@@ -13,112 +13,31 @@ import (
 	"viator/internal/vm"
 )
 
-// One benchmark per paper artifact: running `go test -bench=.` regenerates
-// every table and figure. The per-op cost is the cost of reproducing that
-// artifact end to end.
+// One benchmark per paper artifact, enumerated from the registry so the
+// benchmark set can never drift from what the harness runs: `go test
+// -bench=Experiment` regenerates every table and figure. The per-op cost
+// is the cost of reproducing that artifact end to end.
 
-func BenchmarkE1_Table1_Deployment(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := RunE1(42)
-		if r.Rows[3].Coverage < deployTarget {
-			b.Fatal("4G deployment failed")
-		}
+func BenchmarkExperiment(b *testing.B) {
+	for _, e := range DefaultRegistry().Experiments() {
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := e.Check(e.Run(42)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
-func BenchmarkE2_Fig1_Evolution(b *testing.B) {
+// BenchmarkReplicatedHarness measures the full multi-seed harness path on
+// one experiment: 8 replicates fanned out over the worker pool plus the
+// per-cell mean ± CI aggregation.
+func BenchmarkReplicatedHarness(b *testing.B) {
+	reg := DefaultRegistry()
 	for i := 0; i < b.N; i++ {
-		r := RunE2(42)
-		if r.Entropy[len(r.Entropy)-1] < 1.0 {
-			b.Fatal("no differentiation")
-		}
-	}
-}
-
-func BenchmarkE3_Fig2_Profiling(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if len(RunE3(42).Rows) != 14 {
-			b.Fatal("catalog incomplete")
-		}
-	}
-}
-
-func BenchmarkE4_Fig3_Horizontal(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := RunE4(42)
-		if r.Figure[2].SavingsPct <= 0 {
-			b.Fatal("no savings")
-		}
-	}
-}
-
-func BenchmarkE5_Fig4_Vertical(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := RunE5(42) // fixed seed: the scenario is deterministic traffic
-		if r.Rows[3].MeanLatMs >= r.Rows[1].MeanLatMs {
-			b.Fatal("overlay did not help")
-		}
-	}
-}
-
-func BenchmarkE6_Generations(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := RunE6(42)
-		if r.Rows[3].Throughput <= r.Rows[1].Throughput {
-			b.Fatal("ladder inverted")
-		}
-	}
-}
-
-func BenchmarkE7_DCP_Morphing(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := RunE7(42)
-		if r.Rows[2].AcceptRate < 0.99 {
-			b.Fatal("full morph rejected")
-		}
-	}
-}
-
-func BenchmarkE8_SRP_Clusters(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := RunE8(42)
-		if r.RoundsToExclude <= 0 {
-			b.Fatal("exclusion failed")
-		}
-	}
-}
-
-func BenchmarkE9_MFP_Ablation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := RunE9(42)
-		if r.Rows[10].LossPct > r.Rows[0].LossPct {
-			b.Fatal("feedback made it worse")
-		}
-	}
-}
-
-func BenchmarkE10_PMP_Lifetime(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := RunE10(42)
-		if r.Emerged < 1 {
-			b.Fatal("no emergence")
-		}
-	}
-}
-
-func BenchmarkE11_ModelCheck(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r := RunE11(42)
-		if !r.Rows[2].SafetyOK {
-			b.Fatal("safety violated")
-		}
-	}
-}
-
-func BenchmarkE12_RoleClasses(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if len(RunE12(42).Rows) != 14 {
-			b.Fatal("roles missing")
+		if _, err := reg.RunReplicated([]string{"E5"}, 8, 42, 0); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

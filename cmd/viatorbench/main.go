@@ -1,13 +1,18 @@
 // Command viatorbench regenerates every table and figure of the paper's
-// reproduction: it runs experiments E1–E12 and prints their result
-// tables (optionally as CSV). This is the harness behind EXPERIMENTS.md.
+// reproduction. Experiments come from the viator registry (E1–E12 plus the
+// A1–A4 ablation sweeps); with -reps N each experiment is replicated over N
+// deterministic seeds in parallel and every numeric cell is reported as
+// mean ± 95% CI. Output is aligned text, CSV (-csv) or JSON (-json); for a
+// fixed (-seed, -reps) pair the output is byte-identical across invocations
+// and across -workers values.
 //
 // Usage:
 //
-//	viatorbench [-seed N] [-csv] [-only E5,E11]
+//	viatorbench [-seed N] [-reps N] [-workers K] [-csv|-json] [-only E5,E11] [-ablations] [-list]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,68 +22,82 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 42, "experiment seed (equal seeds replay exactly)")
+	seed := flag.Uint64("seed", 42, "base seed (equal seeds replay exactly)")
+	reps := flag.Int("reps", 1, "replicates per experiment; >1 aggregates numeric cells into mean ±95% CI")
+	workers := flag.Int("workers", 0, "parallel replicate workers (0 = GOMAXPROCS); never affects results")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all")
-	ablations := flag.Bool("ablations", false, "also run the design-knob ablation sweeps")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of aligned tables")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all paper experiments")
+	ablations := flag.Bool("ablations", false, "also run the design-knob ablation sweeps A1-A4")
+	list := flag.Bool("list", false, "list registered experiment ids and exit")
 	flag.Parse()
 
-	want := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
-		id = strings.TrimSpace(strings.ToUpper(id))
-		if id != "" {
-			want[id] = true
+	reg := viator.DefaultRegistry()
+	if *list {
+		for _, e := range reg.Experiments() {
+			kind := "paper"
+			if e.Ablation {
+				kind = "ablation"
+			}
+			fmt.Printf("%-4s %-9s %s\n", e.ID, kind, e.Title)
 		}
+		return
 	}
-	runIt := func(id string) bool { return len(want) == 0 || want[id] }
-
-	experiments := []struct {
-		id  string
-		run func(uint64) *viator.Table
-	}{
-		{"E1", func(s uint64) *viator.Table { return viator.RunE1(s).Table() }},
-		{"E2", func(s uint64) *viator.Table { return viator.RunE2(s).Table() }},
-		{"E3", func(s uint64) *viator.Table { return viator.RunE3(s).Table() }},
-		{"E4", func(s uint64) *viator.Table { return viator.RunE4(s).Table() }},
-		{"E5", func(s uint64) *viator.Table { return viator.RunE5(s).Table() }},
-		{"E6", func(s uint64) *viator.Table { return viator.RunE6(s).Table() }},
-		{"E7", func(s uint64) *viator.Table { return viator.RunE7(s).Table() }},
-		{"E8", func(s uint64) *viator.Table { return viator.RunE8(s).Table() }},
-		{"E9", func(s uint64) *viator.Table { return viator.RunE9(s).Table() }},
-		{"E10", func(s uint64) *viator.Table { return viator.RunE10(s).Table() }},
-		{"E11", func(s uint64) *viator.Table { return viator.RunE11(s).Table() }},
-		{"E12", func(s uint64) *viator.Table { return viator.RunE12(s).Table() }},
-	}
-
-	ran := 0
-	for _, e := range experiments {
-		if !runIt(e.id) {
-			continue
-		}
-		tb := e.run(*seed)
-		if *csv {
-			fmt.Printf("# %s\n%s\n", e.id, tb.CSV())
-		} else {
-			fmt.Println(tb.String())
-		}
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "viatorbench: no experiment matched -only")
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "viatorbench: -csv and -json are mutually exclusive")
 		os.Exit(2)
 	}
-	if *ablations {
-		for _, tb := range []*viator.Table{
-			viator.AblationMorphRate(*seed),
-			viator.AblationJetFanout(*seed),
-			viator.AblationHysteresis(*seed),
-			viator.AblationFactHalfLife(*seed),
-		} {
-			if *csv {
-				fmt.Println(tb.CSV())
-			} else {
-				fmt.Println(tb.String())
+
+	var ids []string
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
 			}
+		}
+		if _, err := reg.Resolve(ids); err != nil {
+			fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, e := range reg.Paper() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if *ablations {
+		// -ablations appends the sweeps whatever the selection, matching
+		// the original CLI where it was an independent add-on.
+		for _, e := range reg.Ablations() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	results, err := reg.RunReplicated(ids, *reps, *seed, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *jsonOut:
+		doc := struct {
+			BaseSeed    uint64               `json:"base_seed"`
+			Reps        int                  `json:"reps"`
+			Experiments []*viator.Replicated `json:"experiments"`
+		}{*seed, *reps, results}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *csv:
+		for _, a := range results {
+			fmt.Printf("# %s\n%s\n", a.Provenance(), a.Table().CSV())
+		}
+	default:
+		for _, a := range results {
+			fmt.Println(a.Table().String())
 		}
 	}
 }

@@ -293,18 +293,22 @@ func TestE12RoleShape(t *testing.T) {
 }
 
 func TestExperimentTablesRender(t *testing.T) {
-	// Every table must render with its title and at least one data row.
-	tables := []*Table{
-		RunE1(7).Table(), RunE2(7).Table(), RunE3(7).Table(), RunE4(7).Table(),
-		RunE5(7).Table(), RunE6(7).Table(), RunE7(7).Table(), RunE8(7).Table(),
-		RunE9(7).Table(), RunE10(7).Table(), RunE11(7).Table(), RunE12(7).Table(),
-	}
-	for i, tb := range tables {
-		if tb.NumRows() == 0 {
-			t.Fatalf("table E%d empty", i+1)
-		}
-		if len(tb.String()) == 0 || len(tb.CSV()) == 0 {
-			t.Fatalf("table E%d failed to render", i+1)
-		}
+	// Every registered experiment — paper tables and ablations alike — must
+	// render at a non-paper seed and satisfy its own shape Check.
+	for _, e := range DefaultRegistry().Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tb := e.Run(7)
+			if tb.NumRows() == 0 {
+				t.Fatalf("%s table empty", e.ID)
+			}
+			if len(tb.String()) == 0 || len(tb.CSV()) == 0 {
+				t.Fatalf("%s table failed to render", e.ID)
+			}
+			if err := e.Check(tb); err != nil {
+				t.Fatalf("%s check: %v", e.ID, err)
+			}
+		})
 	}
 }

@@ -1,0 +1,3 @@
+module viator
+
+go 1.22

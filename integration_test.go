@@ -1,6 +1,7 @@
 package viator
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 
@@ -161,6 +162,41 @@ func TestParallelTrialsDeterministic(t *testing.T) {
 		if a[i] < 0.5 {
 			t.Fatalf("trial %d coverage %v", i, a[i])
 		}
+	}
+}
+
+// Registry-driven replicated harness: the aggregate a downstream consumer
+// (EXPERIMENTS.md, BENCH_*.json) sees must be identical whatever the
+// worker count, and every replicate must use a distinct derived seed.
+func TestReplicatedHarnessDeterministicAcrossWorkers(t *testing.T) {
+	reg := DefaultRegistry()
+	run := func(workers int) string {
+		res, err := reg.RunReplicated([]string{"E5"}, 6, 123, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].ID != "E5" {
+			t.Fatalf("resolved %v", res)
+		}
+		doc, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Table().String() + string(doc)
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); got != base {
+			t.Fatalf("aggregate diverged at workers=%d", w)
+		}
+	}
+	res, _ := reg.RunReplicated([]string{"E5"}, 6, 123, 0)
+	seen := map[uint64]bool{}
+	for _, s := range res[0].Seeds {
+		if seen[s] {
+			t.Fatalf("replicate seed %d repeated", s)
+		}
+		seen[s] = true
 	}
 }
 

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunParallelDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []uint64 {
+		return RunParallel(32, 77, workers, func(i int, seed uint64) uint64 {
+			// Depend on both the index and the derived seed so any
+			// scheduling-sensitive assignment would show up.
+			r := NewRNG(seed)
+			return r.Uint64() ^ uint64(i)
+		})
+	}
+	base := run(1)
+	for _, w := range []int{2, 8, 0} {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: trial %d = %d, want %d", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestRunParallelDistinctSeeds(t *testing.T) {
+	seeds := RunParallel(64, 1, 4, func(i int, seed uint64) uint64 { return seed })
+	seen := map[uint64]bool{}
+	for i, s := range seeds {
+		if seen[s] {
+			t.Fatalf("seed %d repeated at trial %d", s, i)
+		}
+		seen[s] = true
+	}
+}
+
+// Edge cases must return promptly rather than deadlock on an unconsumed
+// work channel.
+func TestRunParallelEdgeCases(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got := RunParallel(0, 1, 4, func(i int, seed uint64) int { return i }); len(got) != 0 {
+			t.Errorf("n=0 returned %v", got)
+		}
+		if got := RunParallel(3, 1, 100, func(i int, seed uint64) int { return i + 1 }); len(got) != 3 || got[2] != 3 {
+			t.Errorf("workers>n returned %v", got)
+		}
+		if got := RunParallel(1, 1, 1, func(i int, seed uint64) int { return 9 }); len(got) != 1 || got[0] != 9 {
+			t.Errorf("n=1 returned %v", got)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunParallel deadlocked on an edge case")
+	}
+}
+
+func TestRunParallelActuallyUsesWorkers(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-core environment")
+	}
+	var peak, cur atomic.Int32
+	RunParallel(4, 1, 4, func(i int, seed uint64) int {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		cur.Add(-1)
+		return i
+	})
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}

@@ -71,6 +71,58 @@ func (s *Summary) Var() float64 {
 // Stddev returns the population standard deviation.
 func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
 
+// SampleVar returns the unbiased (n-1 denominator) sample variance, the
+// estimator replicated experiments need; 0 for fewer than two observations.
+func (s *Summary) SampleVar() float64 {
+	n := float64(len(s.vals))
+	if n < 2 {
+		return 0
+	}
+	m := s.sum / n
+	v := (s.sumSq - n*m*m) / (n - 1)
+	if v < 0 { // floating point guard
+		return 0
+	}
+	return v
+}
+
+// SampleStddev returns the unbiased sample standard deviation.
+func (s *Summary) SampleStddev() float64 { return math.Sqrt(s.SampleVar()) }
+
+// Stderr returns the standard error of the mean (sample stddev / sqrt n),
+// or 0 for fewer than two observations.
+func (s *Summary) Stderr() float64 {
+	if len(s.vals) < 2 {
+		return 0
+	}
+	return s.SampleStddev() / math.Sqrt(float64(len(s.vals)))
+}
+
+// tQuantile95 holds the two-sided 95% Student-t quantiles for 1..30
+// degrees of freedom; beyond 30 the normal quantile 1.96 is close enough.
+var tQuantile95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// (Student-t for small samples), so [Mean-CI95, Mean+CI95] covers the true
+// mean with 95% confidence under the usual normality assumption. Returns 0
+// for fewer than two observations.
+func (s *Summary) CI95() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	df := n - 1
+	t := 1.96
+	if df <= len(tQuantile95) {
+		t = tQuantile95[df-1]
+	}
+	return t * s.Stderr()
+}
+
 // Min returns the smallest observation, or +Inf when empty.
 func (s *Summary) Min() float64 { return s.min }
 

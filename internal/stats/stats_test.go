@@ -239,3 +239,82 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("csv header: %q", csv)
 	}
 }
+
+func TestSampleVarAndCI95(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	// Known dataset: population var 4, sample var 32/7.
+	if got := s.SampleVar(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("SampleVar = %v, want %v", got, 32.0/7)
+	}
+	wantSE := math.Sqrt(32.0/7) / math.Sqrt(8)
+	if got := s.Stderr(); math.Abs(got-wantSE) > 1e-12 {
+		t.Fatalf("Stderr = %v, want %v", got, wantSE)
+	}
+	// df=7 → t=2.365.
+	if got := s.CI95(); math.Abs(got-2.365*wantSE) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, 2.365*wantSE)
+	}
+}
+
+func TestCI95SmallSamples(t *testing.T) {
+	s := NewSummary()
+	if s.CI95() != 0 || s.Stderr() != 0 || s.SampleVar() != 0 {
+		t.Fatal("empty summary must have zero spread")
+	}
+	s.Add(5)
+	if s.CI95() != 0 {
+		t.Fatalf("n=1 CI95 = %v, want 0", s.CI95())
+	}
+	s.Add(5)
+	if s.CI95() != 0 {
+		t.Fatalf("constant observations CI95 = %v, want 0", s.CI95())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	// Same spread, more observations → tighter interval.
+	small, large := NewSummary(), NewSummary()
+	for i := 0; i < 4; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 64; i++ {
+		large.Add(float64(i % 2))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: n=4 %v vs n=64 %v", small.CI95(), large.CI95())
+	}
+}
+
+func TestTableHeadersAccessors(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	if tb.NumCols() != 2 {
+		t.Fatalf("NumCols = %d", tb.NumCols())
+	}
+	h := tb.Headers()
+	h[0] = "mutated"
+	if tb.Headers()[0] != "a" {
+		t.Fatal("Headers leaked internal state")
+	}
+}
+
+func TestTableAlignsMultibyteCells(t *testing.T) {
+	tb := NewTable("", "v", "w")
+	tb.AddRow("1 ±0.5", "x")
+	tb.AddRow("10 ±2.25", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// The second column must start at the same rune offset on every line.
+	col := strings.Index(lines[len(lines)-1], "y")
+	want := len([]rune(lines[len(lines)-1][:col]))
+	for _, ln := range lines[1:] {
+		runes := []rune(ln)
+		if len(runes) <= want {
+			t.Fatalf("short line %q", ln)
+		}
+	}
+	if x := []rune(lines[len(lines)-2]); string(x[want]) != "x" {
+		t.Fatalf("column misaligned: %q", lines)
+	}
+}

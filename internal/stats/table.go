@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table renders aligned plain-text tables: the output format of the
@@ -37,19 +38,31 @@ func (t *Table) AddRow(cells ...any) {
 // NumRows returns the number of data rows added so far.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// NumCols returns the number of header columns.
+func (t *Table) NumCols() int { return len(t.headers) }
+
+// Headers returns a copy of the column headers.
+func (t *Table) Headers() []string {
+	out := make([]string, len(t.headers))
+	copy(out, t.headers)
+	return out
+}
+
 // Cell returns the rendered cell at (row, col).
 func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
 
 // String renders the table with a title line, header row and separator.
 func (t *Table) String() string {
+	// Widths are in runes, not bytes: cells may carry multi-byte glyphs
+	// (e.g. the ± of a replicated mean ± CI table).
 	width := make([]int, len(t.headers))
 	for i, h := range t.headers {
-		width[i] = len(h)
+		width[i] = utf8.RuneCountInString(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(width) && len(c) > width[i] {
-				width[i] = len(c)
+			if n := utf8.RuneCountInString(c); i < len(width) && n > width[i] {
+				width[i] = n
 			}
 		}
 	}
@@ -64,7 +77,7 @@ func (t *Table) String() string {
 				b.WriteString("  ")
 			}
 			b.WriteString(c)
-			for p := len(c); p < width[i]; p++ {
+			for p := utf8.RuneCountInString(c); p < width[i]; p++ {
 				b.WriteByte(' ')
 			}
 		}

@@ -1,0 +1,185 @@
+package viator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is the uniform descriptor for one paper artifact: a stable ID,
+// a human title, a Run function that reproduces the artifact's table for a
+// given seed, and a Check that validates the table's invariant shape (the
+// properties that must hold at any seed, not just the paper's).
+type Experiment struct {
+	ID       string
+	Title    string
+	Ablation bool
+	Run      func(seed uint64) *Table
+	Check    func(*Table) error
+}
+
+// Registry maps experiment IDs to descriptors while preserving
+// registration order. It is the single source of truth for "what can this
+// harness run" — the CLI, the benchmarks and the tests all enumerate it
+// instead of hand-maintaining their own E1…E12 lists.
+type Registry struct {
+	order []string
+	byID  map[string]Experiment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]Experiment)}
+}
+
+// Register adds an experiment. IDs are case-insensitive and must be unique;
+// violations panic because they are programming errors in the catalog.
+func (r *Registry) Register(e Experiment) {
+	id := strings.ToUpper(strings.TrimSpace(e.ID))
+	if id == "" {
+		panic("viator: experiment with empty ID")
+	}
+	if e.Run == nil {
+		panic("viator: experiment " + id + " has no Run")
+	}
+	if _, dup := r.byID[id]; dup {
+		panic("viator: duplicate experiment ID " + id)
+	}
+	e.ID = id
+	r.order = append(r.order, id)
+	r.byID[id] = e
+}
+
+// IDs returns every registered ID in registration order.
+func (r *Registry) IDs() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Get returns the experiment registered under id (case-insensitive).
+func (r *Registry) Get(id string) (Experiment, bool) {
+	e, ok := r.byID[strings.ToUpper(strings.TrimSpace(id))]
+	return e, ok
+}
+
+// Experiments returns all descriptors in registration order.
+func (r *Registry) Experiments() []Experiment {
+	out := make([]Experiment, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id])
+	}
+	return out
+}
+
+// Paper returns the non-ablation experiments in registration order.
+func (r *Registry) Paper() []Experiment {
+	var out []Experiment
+	for _, e := range r.Experiments() {
+		if !e.Ablation {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Ablations returns the ablation sweeps in registration order.
+func (r *Registry) Ablations() []Experiment {
+	var out []Experiment
+	for _, e := range r.Experiments() {
+		if e.Ablation {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Resolve maps requested IDs to descriptors, deduplicating while keeping
+// registry order. Unknown IDs are an error naming every valid ID, so a typo
+// can never silently shrink an experiment sweep.
+func (r *Registry) Resolve(ids []string) ([]Experiment, error) {
+	if len(ids) == 0 {
+		return r.Experiments(), nil
+	}
+	want := make(map[string]bool, len(ids))
+	var unknown []string
+	for _, id := range ids {
+		id = strings.ToUpper(strings.TrimSpace(id))
+		if id == "" {
+			continue
+		}
+		if _, ok := r.byID[id]; !ok {
+			unknown = append(unknown, id)
+			continue
+		}
+		want[id] = true
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown experiment id(s) %s; valid ids: %s",
+			strings.Join(unknown, ", "), strings.Join(r.IDs(), ", "))
+	}
+	var out []Experiment
+	for _, e := range r.Experiments() {
+		if want[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// wantRows builds a Check asserting the exact data row count plus basic
+// renderability — the invariants every seed must satisfy.
+func wantRows(n int) func(*Table) error {
+	return func(t *Table) error {
+		if t == nil {
+			return fmt.Errorf("nil table")
+		}
+		if t.NumRows() != n {
+			return fmt.Errorf("table %q: %d rows, want %d", t.Title, t.NumRows(), n)
+		}
+		if t.NumCols() == 0 || len(t.String()) == 0 || len(t.CSV()) == 0 {
+			return fmt.Errorf("table %q failed to render", t.Title)
+		}
+		return nil
+	}
+}
+
+// DefaultRegistry returns the full catalog: the twelve paper experiments
+// E1…E12 plus the four design-knob ablation sweeps A1…A4.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(Experiment{ID: "E1", Title: "Table 1 — function deployment across network generations",
+		Run: func(s uint64) *Table { return RunE1(s).Table() }, Check: wantRows(4)})
+	r.Register(Experiment{ID: "E2", Title: "Figure 1 — Wandering Network evolution (role differentiation)",
+		Run: func(s uint64) *Table { return RunE2(s).Table() }, Check: wantRows(30)})
+	r.Register(Experiment{ID: "E3", Title: "Figure 2 — ship internal organization (role activation)",
+		Run: func(s uint64) *Table { return RunE3(s).Table() }, Check: wantRows(14)})
+	r.Register(Experiment{ID: "E4", Title: "Figure 3 — horizontal wandering: fusion placement vs backbone load",
+		Run: func(s uint64) *Table { return RunE4(s).Table() }, Check: wantRows(6)})
+	r.Register(Experiment{ID: "E5", Title: "Figure 4 — vertical wandering: QoS overlays vs static routing",
+		Run: func(s uint64) *Table { return RunE5(s).Table() }, Check: wantRows(4)})
+	r.Register(Experiment{ID: "E6", Title: "Generation ladder under demand shift + churn",
+		Run: func(s uint64) *Table { return RunE6(s).Table() }, Check: wantRows(4)})
+	r.Register(Experiment{ID: "E7", Title: "Dualistic Congruence: morphing vs docking acceptance",
+		Run: func(s uint64) *Table { return RunE7(s).Table() }, Check: wantRows(4)})
+	r.Register(Experiment{ID: "E8", Title: "Self-Reference: exclusion, clustering, autopoietic repair",
+		Run: func(s uint64) *Table { return RunE8(s).Table() }, Check: wantRows(8)})
+	r.Register(Experiment{ID: "E9", Title: "Multidimensional Feedback ablation (cumulative dimensions)",
+		Run: func(s uint64) *Table { return RunE9(s).Table() }, Check: wantRows(11)})
+	r.Register(Experiment{ID: "E10", Title: "Pulsating Metamorphosis: fact lifetime law, exchange, resonance",
+		Run: func(s uint64) *Table { return RunE10(s).Table() }, Check: wantRows(6)})
+	r.Register(Experiment{ID: "E11", Title: "Model checking the adaptive ad-hoc routing protocol",
+		Run: func(s uint64) *Table { return RunE11(s).Table() }, Check: wantRows(6)})
+	r.Register(Experiment{ID: "E12", Title: "Role classes: delivered/received byte ratios",
+		Run: func(s uint64) *Table { return RunE12(s).Table() }, Check: wantRows(14)})
+	r.Register(Experiment{ID: "A1", Title: "Ablation — shuttle morph rate (DCP)",
+		Ablation: true, Run: AblationMorphRate, Check: wantRows(5)})
+	r.Register(Experiment{ID: "A2", Title: "Ablation — jet replication fanout (4G deployment)",
+		Ablation: true, Run: AblationJetFanout, Check: wantRows(5)})
+	r.Register(Experiment{ID: "A3", Title: "Ablation — metamorphosis hysteresis (PMP)",
+		Ablation: true, Run: AblationHysteresis, Check: wantRows(6)})
+	r.Register(Experiment{ID: "A4", Title: "Ablation — fact half-life (Definition 3.3)",
+		Ablation: true, Run: AblationFactHalfLife, Check: wantRows(5)})
+	return r
+}

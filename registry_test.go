@@ -1,0 +1,102 @@
+package viator
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultRegistryCatalog(t *testing.T) {
+	reg := DefaultRegistry()
+	if got := len(reg.Experiments()); got != 16 {
+		t.Fatalf("registry size = %d, want 16 (E1-E12 + A1-A4)", got)
+	}
+	if got := len(reg.Paper()); got != 12 {
+		t.Fatalf("paper experiments = %d, want 12", got)
+	}
+	if got := len(reg.Ablations()); got != 4 {
+		t.Fatalf("ablations = %d, want 4", got)
+	}
+	// IDs are unique, ordered, and every descriptor is complete.
+	ids := reg.IDs()
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+		e, ok := reg.Get(id)
+		if !ok || e.Run == nil || e.Check == nil || e.Title == "" {
+			t.Fatalf("incomplete descriptor for %s: %+v", id, e)
+		}
+	}
+	if ids[0] != "E1" || ids[11] != "E12" || ids[12] != "A1" {
+		t.Fatalf("registration order broken: %v", ids)
+	}
+}
+
+func TestRegistryGetIsCaseInsensitive(t *testing.T) {
+	reg := DefaultRegistry()
+	for _, id := range []string{"e5", "E5", " e5 ", "E5 "} {
+		if _, ok := reg.Get(id); !ok {
+			t.Fatalf("Get(%q) missed", id)
+		}
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	reg := DefaultRegistry()
+
+	// Empty selection = everything, in order.
+	all, err := reg.Resolve(nil)
+	if err != nil || len(all) != 16 {
+		t.Fatalf("Resolve(nil) = %d experiments, err %v", len(all), err)
+	}
+
+	// Requested order is normalized to registry order, duplicates collapse.
+	got, err := reg.Resolve([]string{"e11", "E5", "E5", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, e := range got {
+		ids = append(ids, e.ID)
+	}
+	if strings.Join(ids, ",") != "E5,E11,A1" {
+		t.Fatalf("resolved %v", ids)
+	}
+
+	// Unknown IDs fail loudly even when mixed with valid ones, and the
+	// error teaches the valid vocabulary.
+	_, err = reg.Resolve([]string{"E5", "E13", "BOGUS"})
+	if err == nil {
+		t.Fatal("unknown ids silently accepted")
+	}
+	for _, want := range []string{"E13", "BOGUS", "E1,", "A4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestRegistryRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	run := func(uint64) *Table { return nil }
+	mustPanic("empty id", func() {
+		NewRegistry().Register(Experiment{ID: " ", Run: run})
+	})
+	mustPanic("nil run", func() {
+		NewRegistry().Register(Experiment{ID: "X1"})
+	})
+	mustPanic("duplicate id", func() {
+		r := NewRegistry()
+		r.Register(Experiment{ID: "X1", Run: run})
+		r.Register(Experiment{ID: "x1", Run: run})
+	})
+}

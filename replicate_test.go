@@ -1,0 +1,164 @@
+package viator
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"viator/internal/stats"
+)
+
+// testRegistry builds a tiny registry around a synthetic experiment whose
+// table depends on the seed in a controlled way.
+func testRegistry(run func(seed uint64) *Table) *Registry {
+	r := NewRegistry()
+	r.Register(Experiment{ID: "T1", Title: "synthetic", Run: run, Check: wantRows(2)})
+	return r
+}
+
+func syntheticRun(seed uint64) *Table {
+	t := stats.NewTable("synthetic", "label", "value", "constant")
+	t.AddRow("alpha", float64(seed%1000), 7)
+	t.AddRow("beta", float64(seed%1000)*2, 7)
+	return t
+}
+
+func TestRunReplicatedAggregatesCells(t *testing.T) {
+	reg := testRegistry(syntheticRun)
+	res, err := reg.RunReplicated([]string{"T1"}, 16, 99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res[0]
+	if a.Reps != 16 || len(a.Seeds) != 16 || len(a.Rows) != 2 {
+		t.Fatalf("aggregate shape: %+v", a)
+	}
+	// Text column stays verbatim; numeric columns carry stats.
+	if a.Rows[0][0].Text != "alpha" || a.Rows[0][0].Stat != nil {
+		t.Fatalf("label cell: %+v", a.Rows[0][0])
+	}
+	val := a.Rows[0][1].Stat
+	if val == nil || val.N != 16 {
+		t.Fatalf("value cell: %+v", a.Rows[0][1])
+	}
+	if val.CI95 <= 0 || val.Min == val.Max {
+		t.Fatalf("16 distinct seeds produced no spread: %+v", val)
+	}
+	if val.Mean < val.Min || val.Mean > val.Max {
+		t.Fatalf("mean outside range: %+v", val)
+	}
+	// A constant numeric column still aggregates — with zero CI.
+	konst := a.Rows[0][2].Stat
+	if konst == nil || konst.Mean != 7 || konst.CI95 != 0 {
+		t.Fatalf("constant cell: %+v", a.Rows[0][2])
+	}
+	// The rendered table shows mean ± CI.
+	if s := a.Table().String(); !strings.Contains(s, "±") {
+		t.Fatalf("rendered table has no CI: %s", s)
+	}
+}
+
+func TestRunReplicatedDeterministicAcrossWorkers(t *testing.T) {
+	reg := testRegistry(syntheticRun)
+	marshal := func(workers int) string {
+		res, err := reg.RunReplicated([]string{"T1"}, 12, 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	base := marshal(1)
+	for _, w := range []int{2, 3, 8, 0} {
+		if got := marshal(w); got != base {
+			t.Fatalf("workers=%d changed the aggregate\n%s\nvs\n%s", w, got, base)
+		}
+	}
+}
+
+func TestRunReplicatedSingleRepUsesBaseSeed(t *testing.T) {
+	var got []uint64
+	reg := testRegistry(func(seed uint64) *Table {
+		got = append(got, seed)
+		return syntheticRun(seed)
+	})
+	if _, err := reg.RunReplicated([]string{"T1"}, 1, 42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single replicate ran with seeds %v, want [42]", got)
+	}
+}
+
+func TestRunReplicatedSeedsIndependentOfSelection(t *testing.T) {
+	// E5's replicate seeds must not depend on which other experiments run.
+	reg := DefaultRegistry()
+	solo, err := reg.RunReplicated([]string{"E5"}, 3, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := reg.RunReplicated([]string{"E1", "E5"}, 3, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(solo[0].Seeds) != fmt.Sprint(pair[1].Seeds) {
+		t.Fatalf("E5 seeds shifted with selection: %v vs %v", solo[0].Seeds, pair[1].Seeds)
+	}
+}
+
+func TestRunReplicatedRejectsBadInput(t *testing.T) {
+	reg := testRegistry(syntheticRun)
+	if _, err := reg.RunReplicated([]string{"T1"}, 0, 1, 1); err == nil {
+		t.Fatal("reps=0 accepted")
+	}
+	if _, err := reg.RunReplicated([]string{"NOPE"}, 2, 1, 1); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunReplicatedRejectsShapeUnstableTables(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Experiment{ID: "T2", Title: "ragged", Run: func(seed uint64) *Table {
+		t := stats.NewTable("ragged", "v")
+		t.AddRow(1)
+		if seed%2 == 0 {
+			t.AddRow(2)
+		}
+		return t
+	}})
+	if _, err := r.RunReplicated([]string{"T2"}, 8, 1, 2); err == nil {
+		t.Fatal("shape-unstable tables aggregated silently")
+	}
+}
+
+func TestRunReplicatedSurfacesCheckFailure(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Experiment{
+		ID: "T3", Title: "failing",
+		Run:   func(uint64) *Table { return syntheticRun(0) },
+		Check: func(*Table) error { return fmt.Errorf("shape broken") },
+	})
+	_, err := r.RunReplicated([]string{"T3"}, 2, 1, 1)
+	if err == nil || !strings.Contains(err.Error(), "shape broken") {
+		t.Fatalf("check failure not surfaced: %v", err)
+	}
+	if !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("error does not name the failing seed: %v", err)
+	}
+}
+
+func TestAggregateCellFallbacks(t *testing.T) {
+	if c := aggregateCell([]string{"never", "never"}); c.Text != "never" || c.Stat != nil {
+		t.Fatalf("constant text: %+v", c)
+	}
+	if c := aggregateCell([]string{"never", "3.5"}); c.Text != "varies" {
+		t.Fatalf("mixed cell: %+v", c)
+	}
+	if c := aggregateCell([]string{"1", "2", "3"}); c.Stat == nil || c.Stat.Mean != 2 {
+		t.Fatalf("numeric cell: %+v", c)
+	}
+}
