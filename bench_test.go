@@ -3,7 +3,9 @@ package viator
 import (
 	"testing"
 
+	"viator/internal/benchprobe"
 	"viator/internal/hw"
+	"viator/internal/netsim"
 	"viator/internal/roles"
 	"viator/internal/routing"
 	"viator/internal/shuttle"
@@ -44,16 +46,85 @@ func BenchmarkReplicatedHarness(b *testing.B) {
 
 // --- substrate micro-benchmarks: the building blocks' raw costs ---
 
+// BenchmarkKernelEventThroughput is the historical name for the kernel
+// schedule/fire benchmark; it delegates to the shared body so the loop
+// exists in exactly one place.
 func BenchmarkKernelEventThroughput(b *testing.B) {
-	k := sim.NewKernel(1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k.After(1, func() {})
-		if k.Pending() > 1024 {
-			k.Run(k.Now() + 0.5)
+	benchprobe.KernelScheduleFire(b)
+}
+
+// BenchmarkKernel measures the event arena's schedule/fire and cancel
+// paths in steady state, where every slot comes off the free list. The
+// alloc figures are the point: zero per event. The schedule/fire body is
+// shared with `viatorbench -bench` via internal/benchprobe.
+func BenchmarkKernel(b *testing.B) {
+	b.Run("ScheduleFire", benchprobe.KernelScheduleFire)
+	b.Run("ScheduleCancel", func(b *testing.B) {
+		b.ReportAllocs()
+		k := sim.NewKernel(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.After(1, func() {}).Cancel()
+			if k.Pending() > 1024 {
+				k.Run(k.Now() + 0.5)
+			}
 		}
-	}
-	k.Drain()
+		k.Drain()
+	})
+	b.Run("Ticker", func(b *testing.B) {
+		b.ReportAllocs()
+		k := sim.NewKernel(1)
+		n := 0
+		t := k.Every(1, func() { n++ })
+		b.ResetTimer()
+		k.Run(float64(b.N))
+		b.StopTimer()
+		t.Stop()
+		if n < b.N-1 {
+			b.Fatalf("ticker fired %d of %d", n, b.N)
+		}
+	})
+}
+
+// BenchmarkNetsim measures the per-packet transmit path: enqueue onto a
+// link's ring queue, one serialization event, one arrival event, delivery
+// through the persistent per-link state machine. The single alloc/op is
+// the packet itself.
+func BenchmarkNetsim(b *testing.B) {
+	b.Run("SendDeliver", benchprobe.NetsimSendDeliver)
+	b.Run("Forwarding", func(b *testing.B) {
+		// Multi-hop: every delivery re-sends until the chain end, so one
+		// op exercises queueing, arrival and the receive callback 4×.
+		b.ReportAllocs()
+		k := sim.NewKernel(1)
+		g := topo.Line(5)
+		n := netsim.New(k, g)
+		n.SetAllLinkProps(netsim.LinkProps{Bandwidth: 1e9, Delay: 0.0001, QueueCap: 1 << 30})
+		n.OnReceive(func(at topo.NodeID, p *netsim.Packet) {
+			if at != p.Dst {
+				n.Send(at, at+1, p)
+			}
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Send(0, 1, n.NewPacket(0, 4, 1000, "bench", nil))
+			if i%256 == 255 {
+				k.Drain()
+			}
+		}
+		k.Drain()
+	})
+}
+
+// BenchmarkE1Replicated measures the end-to-end harness path the paper
+// tables actually pay for: a full E1 run replicated over 4 seeds with
+// per-cell aggregation.
+func BenchmarkE1Replicated(b *testing.B) {
+	reg := DefaultRegistry()
+	benchprobe.Replicated(b, func() error {
+		_, err := reg.RunReplicated([]string{"E1"}, 4, 42, 0)
+		return err
+	})
 }
 
 func BenchmarkVMExecution(b *testing.B) {

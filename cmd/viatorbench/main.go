@@ -1,14 +1,20 @@
 // Command viatorbench regenerates every table and figure of the paper's
-// reproduction. Experiments come from the viator registry (E1–E12 plus the
-// A1–A4 ablation sweeps); with -reps N each experiment is replicated over N
-// deterministic seeds in parallel and every numeric cell is reported as
-// mean ± 95% CI. Output is aligned text, CSV (-csv) or JSON (-json); for a
-// fixed (-seed, -reps) pair the output is byte-identical across invocations
-// and across -workers values.
+// reproduction. Experiments come from the viator registry (E1–E12, the
+// A1–A4 ablation sweeps and the S1 stress scenario); with -reps N each
+// experiment is replicated over N deterministic seeds in parallel and every
+// numeric cell is reported as mean ± 95% CI. Output is aligned text, CSV
+// (-csv) or JSON (-json); for a fixed (-seed, -reps) pair the output is
+// byte-identical across invocations and across -workers values.
+//
+// -bench switches to the substrate micro-benchmark suite: it times the
+// kernel schedule/fire path, the per-packet send path and a replicated E1
+// run, and emits a JSON document (the BENCH_kernel.json artifact tracked
+// by CI) instead of tables.
 //
 // Usage:
 //
-//	viatorbench [-seed N] [-reps N] [-workers K] [-csv|-json] [-only E5,E11] [-ablations] [-list]
+//	viatorbench [-seed N] [-reps N] [-workers K] [-csv|-json] [-only E5,E11] [-ablations] [-stress] [-list]
+//	viatorbench -bench
 package main
 
 import (
@@ -16,9 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 
 	"viator"
+	"viator/internal/benchprobe"
 )
 
 func main() {
@@ -29,15 +38,25 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of aligned tables")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all paper experiments")
 	ablations := flag.Bool("ablations", false, "also run the design-knob ablation sweeps A1-A4")
+	stress := flag.Bool("stress", false, "also run the stress/scale scenarios (S1)")
 	list := flag.Bool("list", false, "list registered experiment ids and exit")
+	bench := flag.Bool("bench", false, "run the substrate micro-benchmark suite and emit JSON (BENCH_kernel.json)")
 	flag.Parse()
+
+	if *bench {
+		runBench(*seed, *workers)
+		return
+	}
 
 	reg := viator.DefaultRegistry()
 	if *list {
 		for _, e := range reg.Experiments() {
 			kind := "paper"
-			if e.Ablation {
+			switch {
+			case e.Ablation:
 				kind = "ablation"
+			case e.Stress:
+				kind = "stress"
 			}
 			fmt.Printf("%-4s %-9s %s\n", e.ID, kind, e.Title)
 		}
@@ -71,6 +90,11 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
+	if *stress {
+		for _, e := range reg.Stress() {
+			ids = append(ids, e.ID)
+		}
+	}
 
 	results, err := reg.RunReplicated(ids, *reps, *seed, *workers)
 	if err != nil {
@@ -99,5 +123,61 @@ func main() {
 		for _, a := range results {
 			fmt.Println(a.Table().String())
 		}
+	}
+}
+
+// benchResult is one micro-benchmark's measurement in the emitted JSON.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runBench executes the substrate benchmark suite and writes the JSON
+// document to stdout (CI redirects it into BENCH_kernel.json). The bodies
+// are the exact ones `go test -bench` runs (internal/benchprobe), driven
+// through testing.Benchmark so iteration counts self-calibrate.
+func runBench(seed uint64, workers int) {
+	record := func(name string, fn func(b *testing.B)) benchResult {
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			// b.Fatal inside the body yields a zero result; surface the
+			// failing benchmark instead of emitting NaN JSON.
+			fmt.Fprintf(os.Stderr, "viatorbench: benchmark %s failed (see log above)\n", name)
+			os.Exit(1)
+		}
+		return benchResult{
+			Name:        name,
+			Ops:         r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	results := []benchResult{
+		record("kernel.schedule_fire", benchprobe.KernelScheduleFire),
+		record("netsim.send_deliver", benchprobe.NetsimSendDeliver),
+		record("e1.replicated_4x", func(b *testing.B) {
+			benchprobe.Replicated(b, func() error {
+				_, err := viator.RunReplicated([]string{"E1"}, 4, seed, workers)
+				return err
+			})
+		}),
+	}
+
+	doc := struct {
+		GeneratedBy string        `json:"generated_by"`
+		GoVersion   string        `json:"go_version"`
+		MaxProcs    int           `json:"go_max_procs"`
+		BaseSeed    uint64        `json:"base_seed"`
+		Benchmarks  []benchResult `json:"benchmarks"`
+	}{"viatorbench -bench", runtime.Version(), runtime.GOMAXPROCS(0), seed, results}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,68 @@
+// Package benchprobe holds the substrate benchmark bodies shared between
+// the `go test -bench` suite (bench_test.go) and the `viatorbench -bench`
+// JSON artifact, so CI's benchmark step and BENCH_kernel.json always
+// measure the same loops and cannot silently diverge.
+package benchprobe
+
+import (
+	"testing"
+
+	"viator/internal/netsim"
+	"viator/internal/sim"
+	"viator/internal/topo"
+)
+
+// KernelScheduleFire measures the kernel's schedule/fire hot path: one
+// After per op, batch-firing every 1024 events. Steady state is 0
+// allocs/op — every slot comes off the arena free list.
+func KernelScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(1, func() {})
+		if k.Pending() > 1024 {
+			k.Run(k.Now() + 0.5)
+		}
+	}
+	k.Drain()
+}
+
+// NetsimSendDeliver measures the per-packet transmit path: enqueue onto a
+// link's ring queue, one serialization event, one arrival event, delivery
+// through the persistent per-link state machine. The single alloc/op is
+// the packet itself.
+func NetsimSendDeliver(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel(1)
+	g := topo.New()
+	g.AddNodes(2)
+	g.Connect(0, 1, 1)
+	n := netsim.New(k, g)
+	n.SetLinkProps(0, netsim.LinkProps{Bandwidth: 1e9, Delay: 0.0001, QueueCap: 1 << 30})
+	delivered := 0
+	n.OnReceive(func(at topo.NodeID, p *netsim.Packet) { delivered++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(0, 1, n.NewPacket(0, 1, 1000, "bench", nil))
+		if i%1024 == 1023 {
+			k.Drain()
+		}
+	}
+	k.Drain()
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// Replicated measures one end-to-end replicated harness invocation per
+// op. The run closure is injected by the caller (the root viator package
+// cannot be imported from here without a cycle through its own tests).
+func Replicated(b *testing.B, run func() error) {
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,10 +1,32 @@
 // Package netsim is the packet-level network substrate: store-and-forward
 // links with finite bandwidth, propagation delay, bounded output queues,
-// random loss and utilization accounting, driven by the sim kernel.
+// random loss, RED early drop and utilization accounting, driven by the
+// sim kernel.
 //
 // Higher layers (ships, baselines, routing) sit on top via a receive
 // callback; netsim itself moves bytes and keeps honest queueing statistics,
 // which is what makes the feedback experiments (MFP) meaningful.
+//
+// # Hot-path design
+//
+// Per-packet work is kept free of allocation and bookkeeping overhead so
+// large fleets are simulated at memory speed:
+//
+//   - Each link owns a persistent transmit state machine: one
+//     serialization-done callback and one arrival callback, created when
+//     the link state is created and rescheduled for every packet. Sending a
+//     packet therefore allocates nothing (the earlier design built two
+//     fresh closures per packet).
+//   - In-flight packets ride a small per-link FIFO of records; the arrival
+//     callback picks the record with the earliest arrival time, so delivery
+//     matches the kernel's (time, seq) fire order even if a link's Delay is
+//     reconfigured while packets are in flight.
+//   - Output queues are ring buffers (head index instead of re-slicing), so
+//     sustained traffic reuses one backing array per link.
+//   - The per-link state table resynchronizes with the topology only when
+//     topo.Graph.Version reports a structural change, not on every packet.
+//   - Drop/delivery tallies use the stats.Counter integer-keyed fast path:
+//     per-packet accounting is an array increment, not a map lookup.
 package netsim
 
 import (
@@ -49,28 +71,60 @@ func DefaultLinkProps() LinkProps {
 	return LinkProps{Bandwidth: 1 << 20, Delay: 0.001, QueueCap: 64 << 10}
 }
 
+// inflightPkt is one packet in transit on a link: serialized onto the wire,
+// waiting out its propagation delay.
+type inflightPkt struct {
+	p        *Packet
+	dst      topo.NodeID
+	lost     bool
+	arriveAt sim.Time
+}
+
 type linkState struct {
 	props    LinkProps
-	queue    []*Packet
+	queue    []*Packet // output queue ring: live entries are queue[qHead:]
+	qHead    int
 	qBytes   int
 	busy     bool
 	busyTime float64
-	lastIdle sim.Time
 	sent     uint64
 	dropped  uint64
 	bytes    uint64
+
+	// In-flight FIFO: arrivals pop the earliest-arriving record, matching
+	// kernel fire order (see package comment). arrivalsSorted is true
+	// while records were appended with non-decreasing arrival times (the
+	// steady state); it only goes false when a Delay reconfiguration
+	// inverts the order, which switches arrivals to the scanning path.
+	inflight       []inflightPkt
+	ifHead         int
+	arrivalsSorted bool
+
+	// Persistent kernel callbacks — created once per link, rescheduled for
+	// every packet, so the transmit path never allocates.
+	serialDone func()
+	arrive     func()
 }
+
+// queued returns the number of packets waiting in the output queue (the
+// packet currently on the wire is not queued).
+func (ls *linkState) queued() int { return len(ls.queue) - ls.qHead }
 
 // Net binds a kernel and a topology into a packet transport.
 type Net struct {
 	K *sim.Kernel
 	G *topo.Graph
 
-	links   []linkState
-	recv    func(at topo.NodeID, p *Packet)
-	nextID  uint64
-	C       *stats.Counter
-	Latency *stats.Summary
+	links       []linkState
+	topoVersion uint64 // last topo.Graph.Version the link table was synced to
+	recv        func(at topo.NodeID, p *Packet)
+	nextID      uint64
+	C           *stats.Counter
+	Latency     *stats.Summary
+
+	// Integer keys into C for the per-packet counters (see stats.Key).
+	kNoLink, kDropTTL, kDropQueue, kDropRED, kDropLoss stats.Key
+	kDelivered, kBytes                                 stats.Key
 
 	// Delivered counts packets handed to the receive callback; DroppedQ and
 	// DroppedLoss count queue-overflow and random-loss drops respectively;
@@ -85,27 +139,50 @@ type Net struct {
 // New creates a transport over g with every link at DefaultLinkProps.
 func New(k *sim.Kernel, g *topo.Graph) *Net {
 	n := &Net{K: k, G: g, C: stats.NewCounter(), Latency: stats.NewSummary()}
+	n.kNoLink = n.C.Key("send.nolink")
+	n.kDropTTL = n.C.Key("drop.ttl")
+	n.kDropQueue = n.C.Key("drop.queue")
+	n.kDropRED = n.C.Key("drop.red")
+	n.kDropLoss = n.C.Key("drop.loss")
+	n.kDelivered = n.C.Key("e2e.delivered")
+	n.kBytes = n.C.Key("e2e.bytes")
 	n.syncLinks()
 	return n
 }
 
-// syncLinks grows the per-link state table to match the graph; topologies
-// may add links at runtime (mobility, metamorphosis).
-func (n *Net) syncLinks() {
-	for len(n.links) < n.G.Links() {
-		n.links = append(n.links, linkState{props: DefaultLinkProps()})
+// ensureLinks resynchronizes the link table only when the topology has
+// structurally changed since the last sync — an integer compare on the
+// per-packet path instead of a scan.
+func (n *Net) ensureLinks() {
+	if n.topoVersion != n.G.Version() {
+		n.syncLinks()
 	}
 }
 
-// SetLinkProps overrides the properties of link li.
+// syncLinks grows the per-link state table to match the graph; topologies
+// may add links at runtime (mobility, metamorphosis). Each new link gets
+// its persistent transmit callbacks here.
+func (n *Net) syncLinks() {
+	for len(n.links) < n.G.Links() {
+		li := len(n.links)
+		n.links = append(n.links, linkState{props: DefaultLinkProps(), arrivalsSorted: true})
+		n.links[li].serialDone = func() { n.startTx(li) }
+		n.links[li].arrive = func() { n.arriveOn(li) }
+	}
+	n.topoVersion = n.G.Version()
+}
+
+// SetLinkProps overrides the properties of link li. Reconfiguring
+// Bandwidth or Delay affects only packets transmitted afterwards; packets
+// already on the wire keep the timing they were launched with.
 func (n *Net) SetLinkProps(li int, p LinkProps) {
-	n.syncLinks()
+	n.ensureLinks()
 	n.links[li].props = p
 }
 
 // SetAllLinkProps overrides every current link's properties.
 func (n *Net) SetAllLinkProps(p LinkProps) {
-	n.syncLinks()
+	n.ensureLinks()
 	for i := range n.links {
 		n.links[i].props = p
 	}
@@ -113,7 +190,7 @@ func (n *Net) SetAllLinkProps(p LinkProps) {
 
 // LinkProps returns the properties of link li.
 func (n *Net) LinkProps(li int) LinkProps {
-	n.syncLinks()
+	n.ensureLinks()
 	return n.links[li].props
 }
 
@@ -134,25 +211,35 @@ func (n *Net) NewPacket(src, dst topo.NodeID, size int, class string, payload an
 func (n *Net) Send(from, to topo.NodeID, p *Packet) bool {
 	li := n.G.FindLink(from, to)
 	if li == -1 {
-		n.C.Inc("send.nolink", 1)
+		n.C.Add(n.kNoLink, 1)
 		return false
 	}
 	return n.SendOnLink(li, p)
 }
 
-// SendOnLink enqueues p on link li. Queue overflow drops the packet.
+// SendOnLink enqueues p on link li. Queue overflow drops the packet
+// (tail drop, or probabilistically earlier under RED).
+//
+// Head-of-line exemption: a packet is accepted regardless of size when the
+// link is idle — it goes straight onto the wire and never occupies the
+// queue, so a link can always carry a packet larger than its QueueCap,
+// exactly as a real store-and-forward interface serializes a frame it has
+// already committed to. The exemption is bounded to the idle case: while
+// the link is busy, an oversize packet is tail-dropped like any other
+// overflow instead of slipping past the cap, and RED never fires for it
+// only because a zero-occupancy queue is by definition below REDMin.
 func (n *Net) SendOnLink(li int, p *Packet) bool {
-	n.syncLinks()
+	n.ensureLinks()
 	if p.TTL <= 0 {
 		n.DroppedTTL++
-		n.C.Inc("drop.ttl", 1)
+		n.C.Add(n.kDropTTL, 1)
 		return false
 	}
 	ls := &n.links[li]
-	if ls.qBytes+p.Size > ls.props.QueueCap && len(ls.queue) > 0 {
+	if ls.qBytes+p.Size > ls.props.QueueCap && (ls.busy || ls.queued() > 0) {
 		ls.dropped++
 		n.DroppedQ++
-		n.C.Inc("drop.queue", 1)
+		n.C.Add(n.kDropQueue, 1)
 		return false
 	}
 	if ls.props.REDMin > 0 && ls.qBytes > ls.props.REDMin {
@@ -163,7 +250,7 @@ func (n *Net) SendOnLink(li int, p *Packet) bool {
 		if n.K.Rand.Bool(frac * ls.props.REDMaxP) {
 			ls.dropped++
 			n.DroppedRED++
-			n.C.Inc("drop.red", 1)
+			n.C.Add(n.kDropRED, 1)
 			return false
 		}
 	}
@@ -175,49 +262,106 @@ func (n *Net) SendOnLink(li int, p *Packet) bool {
 	return true
 }
 
+// startTx pulls the next queued packet onto the wire: it burns the
+// serialization time, decides loss up front (so the RNG draw order is
+// fixed at launch), records the in-flight packet and re-arms the link's
+// two persistent callbacks.
 func (n *Net) startTx(li int) {
 	ls := &n.links[li]
-	if len(ls.queue) == 0 {
+	if ls.qHead == len(ls.queue) {
+		ls.queue = ls.queue[:0]
+		ls.qHead = 0
 		ls.busy = false
 		return
 	}
 	ls.busy = true
-	p := ls.queue[0]
-	ls.queue = ls.queue[1:]
+	p := ls.queue[ls.qHead]
+	ls.queue[ls.qHead] = nil
+	ls.qHead++
 	ls.qBytes -= p.Size
+	// Compact the ring when the dead prefix dominates, so a link that
+	// never drains (a saturated bottleneck) keeps a bounded backing array
+	// instead of growing by one slot per packet forever.
+	if ls.qHead > 32 && ls.qHead > len(ls.queue)/2 {
+		n := copy(ls.queue, ls.queue[ls.qHead:])
+		clear(ls.queue[n:])
+		ls.queue = ls.queue[:n]
+		ls.qHead = 0
+	}
 	txTime := float64(p.Size) / ls.props.Bandwidth
 	ls.busyTime += txTime
 	dst := n.G.Link(li).To
 	lost := n.K.Rand.Bool(ls.props.LossProb)
 	delay := ls.props.Delay
-	n.K.After(txTime, func() {
-		// Serialization done: link free for the next packet...
-		n.startTx(li)
-	})
-	n.K.After(txTime+delay, func() {
-		// ...and this packet arrives after propagation, unless lost.
-		if lost {
-			n.DroppedLoss++
-			n.C.Inc("drop.loss", 1)
-			return
+	arriveAt := n.K.Now() + txTime + delay
+	if last := len(ls.inflight) - 1; last >= ls.ifHead && arriveAt < ls.inflight[last].arriveAt {
+		// A Delay reconfiguration let this packet overtake one already in
+		// flight; arrivals must scan until the window drains.
+		ls.arrivalsSorted = false
+	}
+	ls.inflight = append(ls.inflight, inflightPkt{p: p, dst: dst, lost: lost, arriveAt: arriveAt})
+	// Serialization done: link free for the next packet...
+	n.K.After(txTime, ls.serialDone)
+	// ...and this packet arrives after propagation, unless lost.
+	n.K.After(txTime+delay, ls.arrive)
+}
+
+// arriveOn completes the earliest-arriving in-flight packet on link li.
+// In the steady state arrivals are in launch order and this pops the FIFO
+// head; only after a mid-flight Delay reconfiguration does it scan the
+// window for the earliest record.
+func (n *Net) arriveOn(li int) {
+	ls := &n.links[li]
+	best := ls.ifHead
+	if !ls.arrivalsSorted {
+		for i := ls.ifHead + 1; i < len(ls.inflight); i++ {
+			if ls.inflight[i].arriveAt < ls.inflight[best].arriveAt {
+				best = i
+			}
 		}
-		ls.sent++
-		ls.bytes += uint64(p.Size)
-		p.Hops++
-		p.TTL--
-		n.Delivered++
-		if n.recv != nil {
-			n.recv(dst, p)
+	}
+	rec := ls.inflight[best]
+	if best == ls.ifHead {
+		ls.inflight[best] = inflightPkt{}
+		ls.ifHead++
+		switch {
+		case ls.ifHead == len(ls.inflight):
+			ls.inflight = ls.inflight[:0]
+			ls.ifHead = 0
+			ls.arrivalsSorted = true
+		case ls.ifHead > 32 && ls.ifHead > len(ls.inflight)/2:
+			// Bound the backing array on links that never fully drain.
+			m := copy(ls.inflight, ls.inflight[ls.ifHead:])
+			clear(ls.inflight[m:])
+			ls.inflight = ls.inflight[:m]
+			ls.ifHead = 0
 		}
-	})
+	} else {
+		copy(ls.inflight[best:], ls.inflight[best+1:])
+		ls.inflight[len(ls.inflight)-1] = inflightPkt{}
+		ls.inflight = ls.inflight[:len(ls.inflight)-1]
+	}
+	if rec.lost {
+		n.DroppedLoss++
+		n.C.Add(n.kDropLoss, 1)
+		return
+	}
+	ls.sent++
+	ls.bytes += uint64(rec.p.Size)
+	rec.p.Hops++
+	rec.p.TTL--
+	n.Delivered++
+	if n.recv != nil {
+		n.recv(rec.dst, rec.p)
+	}
 }
 
 // Deliver records the end-to-end latency of a packet that reached its
 // final destination. Upper layers call it once per completed journey.
 func (n *Net) Deliver(p *Packet) {
 	n.Latency.Add(n.K.Now() - p.Created)
-	n.C.Inc("e2e.delivered", 1)
-	n.C.Inc("e2e.bytes", float64(p.Size))
+	n.C.Add(n.kDelivered, 1)
+	n.C.Add(n.kBytes, float64(p.Size))
 }
 
 // LinkStats summarizes one link's activity.
@@ -231,7 +375,7 @@ type LinkStats struct {
 
 // Stats returns activity counters for link li.
 func (n *Net) Stats(li int) LinkStats {
-	n.syncLinks()
+	n.ensureLinks()
 	ls := &n.links[li]
 	return LinkStats{Sent: ls.sent, Dropped: ls.dropped, Bytes: ls.bytes, BusyTime: ls.busyTime, Queued: ls.qBytes}
 }
@@ -241,7 +385,7 @@ func (n *Net) Utilization(li int) float64 {
 	if n.K.Now() == 0 {
 		return 0
 	}
-	n.syncLinks()
+	n.ensureLinks()
 	return n.links[li].busyTime / n.K.Now()
 }
 
@@ -249,7 +393,7 @@ func (n *Net) Utilization(li int) float64 {
 // backbone-load metric for the fusion/MFP experiments.
 func (n *Net) TotalBytes() uint64 {
 	var total uint64
-	n.syncLinks()
+	n.ensureLinks()
 	for i := range n.links {
 		total += n.links[i].bytes
 	}

@@ -252,3 +252,126 @@ func TestREDDisabledByDefault(t *testing.T) {
 		t.Fatal("tail drop missing")
 	}
 }
+
+func TestOversizeHeadOfLineExemption(t *testing.T) {
+	// An idle link must accept a packet larger than its QueueCap: it goes
+	// straight onto the wire and never occupies the queue.
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1000, Delay: 0, QueueCap: 100})
+	delivered := 0
+	n.OnReceive(func(at topo.NodeID, p *Packet) { delivered++ })
+	if !n.Send(0, 1, n.NewPacket(0, 1, 5000, "jumbo", nil)) {
+		t.Fatal("idle link refused the head-of-line packet")
+	}
+	k.Run(100)
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1", delivered)
+	}
+}
+
+func TestOversizeBoundedWhileBusy(t *testing.T) {
+	// While the link is busy the exemption must not apply: an oversize
+	// packet is tail-dropped instead of slipping past the cap into an
+	// empty queue.
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1000, Delay: 0, QueueCap: 100})
+	delivered := 0
+	n.OnReceive(func(at topo.NodeID, p *Packet) { delivered++ })
+	if !n.Send(0, 1, n.NewPacket(0, 1, 50, "head", nil)) {
+		t.Fatal("first packet refused")
+	}
+	// Link is now transmitting (queue empty); the jumbo must be dropped.
+	if n.Send(0, 1, n.NewPacket(0, 1, 5000, "jumbo", nil)) {
+		t.Fatal("busy link accepted a packet exceeding its whole QueueCap")
+	}
+	if n.DroppedQ != 1 {
+		t.Fatalf("DroppedQ = %d, want 1", n.DroppedQ)
+	}
+	k.Run(100)
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (head only)", delivered)
+	}
+}
+
+func TestLinkTableSyncsOnTopologyGrowth(t *testing.T) {
+	// Links added after the Net was built (mobility, metamorphosis) must
+	// become sendable: the state table resyncs via topo.Graph.Version.
+	k := sim.NewKernel(1)
+	g := topo.New()
+	g.AddNodes(3)
+	g.ConnectBoth(0, 1, 1)
+	n := New(k, g)
+	delivered := 0
+	n.OnReceive(func(at topo.NodeID, p *Packet) { delivered++ })
+	g.ConnectBoth(1, 2, 1) // runtime topology growth
+	if !n.Send(1, 2, n.NewPacket(1, 2, 100, "d", nil)) {
+		t.Fatal("send over a link added after New failed")
+	}
+	k.Run(10)
+	if delivered != 1 {
+		t.Fatalf("delivered %d over the new link, want 1", delivered)
+	}
+}
+
+func TestSendSteadyStateAllocations(t *testing.T) {
+	// The transmit machinery itself must not allocate per packet: one
+	// Send+deliver cycle costs exactly the packet object the caller makes.
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1e9, Delay: 0.0001, QueueCap: 1 << 30})
+	n.OnReceive(func(at topo.NodeID, p *Packet) {})
+	// Warm rings, arena and counter storage.
+	for i := 0; i < 512; i++ {
+		n.Send(0, 1, n.NewPacket(0, 1, 100, "w", nil))
+	}
+	k.Drain()
+	allocs := testing.AllocsPerRun(500, func() {
+		n.Send(0, 1, n.NewPacket(0, 1, 100, "d", nil))
+		k.Drain()
+	})
+	if allocs > 1 {
+		t.Fatalf("per-packet allocations = %v, want <= 1 (the packet itself)", allocs)
+	}
+}
+
+func TestDelayReconfigInFlightAllowsOvertaking(t *testing.T) {
+	// Reconfiguring Delay downward while a packet is in flight lets a
+	// later packet overtake it — delivery must still hand each arrival
+	// event its own packet, in arrival-time order (the scanning path).
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1e6, Delay: 0.5, QueueCap: 1 << 20})
+	var got []uint64
+	n.OnReceive(func(at topo.NodeID, p *Packet) { got = append(got, p.ID) })
+	n.Send(0, 1, n.NewPacket(0, 1, 100, "slow", nil)) // arrives ~0.5001
+	k.At(0.001, func() {
+		n.SetLinkProps(0, LinkProps{Bandwidth: 1e6, Delay: 0, QueueCap: 1 << 20})
+		n.Send(0, 1, n.NewPacket(0, 1, 100, "fast", nil)) // arrives ~0.0011
+	})
+	k.Run(10)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("delivery order = %v, want [2 1] (fast overtakes slow)", got)
+	}
+}
+
+func TestSustainedBacklogKeepsFIFOThroughCompaction(t *testing.T) {
+	// A queue that stays non-empty across hundreds of pops exercises the
+	// ring-compaction path; order and accounting must be unaffected.
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1000, Delay: 0.001, QueueCap: 1 << 20})
+	var got []uint64
+	n.OnReceive(func(at topo.NodeID, p *Packet) { got = append(got, p.ID) })
+	const total = 500
+	for i := 0; i < total; i++ {
+		if !n.Send(0, 1, n.NewPacket(0, 1, 10, "d", nil)) {
+			t.Fatalf("packet %d refused", i)
+		}
+	}
+	k.Drain()
+	if len(got) != total {
+		t.Fatalf("delivered %d of %d through the backlog", len(got), total)
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("FIFO broken at %d: got id %d", i, id)
+		}
+	}
+}

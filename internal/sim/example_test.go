@@ -1,0 +1,54 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"viator/internal/sim"
+)
+
+// ExampleKernel shows the basic discrete-event loop: schedule callbacks at
+// virtual times, run to a horizon, observe the clock from inside events.
+func ExampleKernel() {
+	k := sim.NewKernel(42)
+	k.At(1.5, func() { fmt.Printf("second event at t=%v\n", k.Now()) })
+	k.At(0.5, func() {
+		fmt.Printf("first event at t=%v\n", k.Now())
+		// Events may schedule more events; relative scheduling uses After.
+		k.After(2, func() { fmt.Printf("chained event at t=%v\n", k.Now()) })
+	})
+	fired := k.Run(10)
+	fmt.Printf("fired %d events, clock at t=%v\n", fired, k.Now())
+	// Output:
+	// first event at t=0.5
+	// second event at t=1.5
+	// chained event at t=2.5
+	// fired 3 events, clock at t=10
+}
+
+// ExampleKernel_cancel demonstrates event handles: At and After return a
+// value that can cancel the pending callback.
+func ExampleKernel_cancel() {
+	k := sim.NewKernel(1)
+	keep := k.At(1, func() { fmt.Println("kept") })
+	drop := k.At(2, func() { fmt.Println("dropped") })
+	drop.Cancel()
+	_ = keep
+	k.Run(5)
+	fmt.Println("done")
+	// Output:
+	// kept
+	// done
+}
+
+// ExampleKernel_every shows periodic events via Ticker.
+func ExampleKernel_every() {
+	k := sim.NewKernel(1)
+	n := 0
+	t := k.Every(1, func() { n++ })
+	k.Run(3.5)
+	t.Stop()
+	k.Run(10)
+	fmt.Printf("ticked %d times\n", n)
+	// Output:
+	// ticked 3 times
+}

@@ -1,7 +1,26 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every Viator substrate runs on: a virtual clock, an allocation-free
+// event queue, a reproducible random number generator (splitmix64) and a
+// parallel trial executor.
+//
+// The kernel is intentionally single-threaded per simulation instance so
+// that a (seed, scenario) pair always replays the exact same trajectory;
+// parallelism is applied across independent trials (see RunParallel), the
+// standard replication pattern for simulation studies.
+//
+// # Event queue design
+//
+// Events live in a pooled arena inside the Kernel: scheduling writes into a
+// recycled slot and pushes a slot index onto an index-based binary heap, so
+// the steady-state hot path performs no heap allocation and no interface
+// boxing (the costs that dominated the earlier container/heap
+// implementation). Event handles are small values carrying a generation
+// tag, which makes Cancel on an already-fired (and possibly recycled) event
+// a safe no-op. Events with equal timestamps fire in scheduling order
+// (FIFO), which keeps trajectories deterministic.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -9,56 +28,59 @@ import (
 // Time is virtual simulation time in seconds.
 type Time = float64
 
-// Event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (FIFO), which keeps trajectories deterministic.
+// Event is a value handle to a scheduled callback, returned by At and
+// After. The zero Event is inert: Cancel and Cancelled are no-ops on it.
 type Event struct {
-	At   Time
-	Fn   func()
+	k   *Kernel
+	id  int32
+	gen uint32
+}
+
+// Cancel marks the event so the kernel skips it when its time comes, and
+// releases the callback immediately. Cancelling an already-fired (or
+// already-cancelled) event is a no-op.
+func (e Event) Cancel() {
+	if e.k == nil || e.id < 0 || int(e.id) >= len(e.k.slots) {
+		return
+	}
+	s := &e.k.slots[e.id]
+	if s.gen != e.gen {
+		return // slot already fired and possibly recycled
+	}
+	s.dead = true
+	s.fn = nil
+}
+
+// Cancelled reports whether the event is currently cancelled and unfired.
+// Once the event's slot is recycled (after firing or after a cancelled
+// event's timestamp passes) it reports false.
+func (e Event) Cancelled() bool {
+	if e.k == nil || e.id < 0 || int(e.id) >= len(e.k.slots) {
+		return false
+	}
+	s := &e.k.slots[e.id]
+	return s.gen == e.gen && s.dead
+}
+
+// slot is one arena entry. Slots are recycled through a free list; gen
+// increments on every release so stale Event handles cannot touch a reused
+// slot.
+type slot struct {
+	at   Time
+	fn   func()
 	seq  uint64
-	idx  int
+	gen  uint32
 	dead bool
 }
 
-// Cancel marks the event so the kernel skips it when its time comes.
-// Cancelling an already-fired event is a no-op.
-func (e *Event) Cancel() { e.dead = true }
-
-// Cancelled reports whether Cancel was called.
-func (e *Event) Cancelled() bool { return e.dead }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is a discrete-event simulation engine: a virtual clock plus a
-// time-ordered event queue. It is not safe for concurrent use.
+// time-ordered event queue. It is not safe for concurrent use; run one
+// kernel per goroutine (see RunParallel for the replication pattern).
 type Kernel struct {
 	now     Time
-	queue   eventHeap
+	slots   []slot  // event arena; index = event id
+	free    []int32 // recycled slot ids
+	heap    []int32 // binary heap of slot ids ordered by (at, seq)
 	seq     uint64
 	fired   uint64
 	stopped bool
@@ -76,26 +98,37 @@ func (k *Kernel) Now() Time { return k.now }
 // Fired returns how many events have executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Pending returns the number of events still queued.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of events still queued (cancelled events
+// count until their timestamp passes).
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug and silently clamping would hide it.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
 	}
 	if math.IsNaN(t) {
 		panic("sim: schedule at NaN")
 	}
-	e := &Event{At: t, Fn: fn, seq: k.seq}
+	var id int32
+	if n := len(k.free); n > 0 {
+		id = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, slot{})
+		id = int32(len(k.slots) - 1)
+	}
+	s := &k.slots[id]
+	s.at, s.fn, s.seq, s.dead = t, fn, k.seq, false
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	k.heap = append(k.heap, id)
+	k.siftUp(len(k.heap) - 1)
+	return Event{k: k, id: id, gen: s.gen}
 }
 
 // After schedules fn delay seconds from now.
-func (k *Kernel) After(delay Time, fn func()) *Event {
+func (k *Kernel) After(delay Time, fn func()) Event {
 	return k.At(k.now+delay, fn)
 }
 
@@ -108,23 +141,87 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Run(until Time) uint64 {
 	k.stopped = false
 	start := k.fired
-	for len(k.queue) > 0 && !k.stopped {
-		e := k.queue[0]
-		if e.At > until {
+	for len(k.heap) > 0 && !k.stopped {
+		id := k.heap[0]
+		s := &k.slots[id]
+		if s.at > until {
 			break
 		}
-		heap.Pop(&k.queue)
-		if e.dead {
+		at, fn, dead := s.at, s.fn, s.dead
+		k.popRoot()
+		k.release(id)
+		if dead {
 			continue
 		}
-		k.now = e.At
+		k.now = at
 		k.fired++
-		e.Fn()
+		fn()
 	}
 	if k.now < until && !k.stopped {
 		k.now = until
 	}
 	return k.fired - start
+}
+
+// release returns a fired or expired slot to the free list. The generation
+// bump invalidates every outstanding handle to it.
+func (k *Kernel) release(id int32) {
+	s := &k.slots[id]
+	s.fn = nil
+	s.gen++
+	k.free = append(k.free, id)
+}
+
+// less orders heap entries by (timestamp, scheduling sequence) — the FIFO
+// tie-break that makes equal-time trajectories deterministic.
+func (k *Kernel) less(a, b int32) bool {
+	sa, sb := &k.slots[a], &k.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	for i > 0 {
+		p := (i - 1) / 2
+		if !k.less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (k *Kernel) popRoot() {
+	h := k.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	k.heap = h[:n]
+	if n > 0 {
+		k.siftDown(0)
+	}
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && k.less(h[r], h[l]) {
+			m = r
+		}
+		if !k.less(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Drain runs until the event queue is empty (or Stop). Use only for models
@@ -140,6 +237,17 @@ func (k *Kernel) Every(period Time, fn func()) *Ticker {
 		panic("sim: Every with non-positive period")
 	}
 	t := &Ticker{k: k, period: period, fn: fn}
+	// One closure for the ticker's whole lifetime; re-arming reuses it so a
+	// long-lived ticker costs nothing per occurrence.
+	t.tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	}
 	t.arm()
 	return t
 }
@@ -149,26 +257,17 @@ type Ticker struct {
 	k       *Kernel
 	period  Time
 	fn      func()
-	ev      *Event
+	tick    func()
+	ev      Event
 	stopped bool
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.k.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.ev = t.k.After(t.period, t.tick)
 }
 
 // Stop halts the ticker; the pending occurrence is cancelled.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
+	t.ev.Cancel()
 }

@@ -1,11 +1,3 @@
-// Package sim provides the deterministic discrete-event simulation kernel
-// that every Viator substrate runs on: a virtual clock, an event heap, a
-// reproducible random number generator and a parallel trial executor.
-//
-// The kernel is intentionally single-threaded per simulation instance so
-// that a (seed, scenario) pair always replays the exact same trajectory;
-// parallelism is applied across independent trials (see RunParallel), the
-// standard replication pattern for simulation studies.
 package sim
 
 import "math"

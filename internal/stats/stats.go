@@ -1,6 +1,13 @@
 // Package stats provides the measurement substrate used by every Viator
 // experiment: streaming counters and summaries, histograms, time series and
 // plain-text table rendering for the benchmark harness output.
+//
+// Two cost tiers coexist in Counter. The string-keyed API (Inc/Get) is the
+// convenient form for setup and reporting code; the integer-keyed fast path
+// (Key/Add) turns per-packet accounting into a bare slice increment and is
+// what the packet substrate uses on its hot path. Both views address the
+// same underlying tallies, so a counter registered with Key is still
+// visible through Get and Names.
 package stats
 
 import (
@@ -165,27 +172,58 @@ func (s *Summary) String() string {
 }
 
 // Counter is a cheap monotonically adjustable tally keyed by name, used
-// for event accounting across a simulation.
+// for event accounting across a simulation. Hot paths should resolve the
+// name to a Key once and bump through Add, which costs one bounds-checked
+// slice increment instead of a map lookup per event.
 type Counter struct {
-	m     map[string]float64
+	idx   map[string]Key
+	vals  []float64
 	order []string
 }
 
+// Key is a stable integer handle to one named counter, resolved once via
+// Counter.Key and then usable with Add on the per-event path.
+type Key int
+
 // NewCounter returns an empty counter set.
 func NewCounter() *Counter {
-	return &Counter{m: make(map[string]float64)}
+	return &Counter{idx: make(map[string]Key)}
 }
+
+// Key resolves name to its integer handle, registering the counter at zero
+// on first use. Registration makes the name visible to Names even before
+// the first increment.
+func (c *Counter) Key(name string) Key {
+	if k, ok := c.idx[name]; ok {
+		return k
+	}
+	k := Key(len(c.vals))
+	c.idx[name] = k
+	c.vals = append(c.vals, 0)
+	c.order = append(c.order, name)
+	return k
+}
+
+// Add adds delta to the counter behind k — the allocation-free, map-free
+// fast path for per-packet accounting.
+func (c *Counter) Add(k Key, delta float64) { c.vals[k] += delta }
 
 // Inc adds delta to the named counter, creating it on first use.
 func (c *Counter) Inc(name string, delta float64) {
-	if _, ok := c.m[name]; !ok {
-		c.order = append(c.order, name)
-	}
-	c.m[name] += delta
+	// Resolve before indexing: Key may grow c.vals, and Go does not fix
+	// the evaluation order of the slice operand relative to the call in
+	// `c.vals[c.Key(name)] += delta`.
+	k := c.Key(name)
+	c.vals[k] += delta
 }
 
 // Get returns the value of the named counter (0 if never incremented).
-func (c *Counter) Get(name string) float64 { return c.m[name] }
+func (c *Counter) Get(name string) float64 {
+	if k, ok := c.idx[name]; ok {
+		return c.vals[k]
+	}
+	return 0
+}
 
 // Names returns counter names in first-use order.
 func (c *Counter) Names() []string {

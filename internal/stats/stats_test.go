@@ -318,3 +318,39 @@ func TestTableAlignsMultibyteCells(t *testing.T) {
 		t.Fatalf("column misaligned: %q", lines)
 	}
 }
+
+func TestCounterFastPath(t *testing.T) {
+	c := NewCounter()
+	k := c.Key("pkts")
+	if c.Key("pkts") != k {
+		t.Fatal("Key not stable across calls")
+	}
+	c.Add(k, 2)
+	c.Add(k, 3)
+	if c.Get("pkts") != 5 {
+		t.Fatalf("Get = %v after Add, want 5", c.Get("pkts"))
+	}
+	// String and integer APIs address the same tally.
+	c.Inc("pkts", 1)
+	if c.Get("pkts") != 6 {
+		t.Fatalf("Inc/Add interop broken: %v", c.Get("pkts"))
+	}
+	// Registration alone makes the name visible at zero.
+	c.Key("reserved")
+	if c.Get("reserved") != 0 {
+		t.Fatalf("registered counter not zero: %v", c.Get("reserved"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "pkts" || names[1] != "reserved" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCounterAddAllocFree(t *testing.T) {
+	c := NewCounter()
+	k := c.Key("hot")
+	allocs := testing.AllocsPerRun(1000, func() { c.Add(k, 1) })
+	if allocs != 0 {
+		t.Fatalf("Add allocates %v per op, want 0", allocs)
+	}
+}

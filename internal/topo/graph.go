@@ -26,10 +26,11 @@ type Link struct {
 // Graph is a mutable directed graph with stable node identifiers.
 // It is not safe for concurrent mutation.
 type Graph struct {
-	n    int
-	adj  [][]int // per-node indexes into links
-	link []Link
-	pos  []Point // optional geometry, used by geometric generators
+	n       int
+	adj     [][]int // per-node indexes into links
+	link    []Link
+	pos     []Point // optional geometry, used by geometric generators
+	version uint64  // bumped on every structural change (link added)
 }
 
 // Point is a 2-D coordinate used by geometric topologies and mobility.
@@ -79,8 +80,15 @@ func (g *Graph) Connect(from, to NodeID, cost float64) int {
 	g.link = append(g.link, Link{From: from, To: to, Cost: cost, Up: true})
 	idx := len(g.link) - 1
 	g.adj[from] = append(g.adj[from], idx)
+	g.version++
 	return idx
 }
+
+// Version returns a counter that increases whenever the link set grows.
+// Per-link caches (netsim's state table, routing tables) compare it against
+// a remembered value to decide whether to resynchronize, instead of
+// re-scanning on every packet.
+func (g *Graph) Version() uint64 { return g.version }
 
 // ConnectBoth adds links in both directions with equal cost and returns
 // the two link indexes.
@@ -296,7 +304,7 @@ func (g *Graph) Components() [][]NodeID {
 
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{n: g.n}
+	c := &Graph{n: g.n, version: g.version}
 	c.adj = make([][]int, len(g.adj))
 	for i, a := range g.adj {
 		c.adj[i] = append([]int(nil), a...)

@@ -14,8 +14,12 @@ type Experiment struct {
 	ID       string
 	Title    string
 	Ablation bool
-	Run      func(seed uint64) *Table
-	Check    func(*Table) error
+	// Stress marks scale/stress scenarios that are not paper artifacts;
+	// they run only when selected explicitly (-only, -stress), never as
+	// part of the default paper sweep, so paper output stays stable.
+	Stress bool
+	Run    func(seed uint64) *Table
+	Check  func(*Table) error
 }
 
 // Registry maps experiment IDs to descriptors while preserving
@@ -72,11 +76,23 @@ func (r *Registry) Experiments() []Experiment {
 	return out
 }
 
-// Paper returns the non-ablation experiments in registration order.
+// Paper returns the paper-artifact experiments (neither ablation nor
+// stress) in registration order.
 func (r *Registry) Paper() []Experiment {
 	var out []Experiment
 	for _, e := range r.Experiments() {
-		if !e.Ablation {
+		if !e.Ablation && !e.Stress {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stress returns the stress/scale scenarios in registration order.
+func (r *Registry) Stress() []Experiment {
+	var out []Experiment
+	for _, e := range r.Experiments() {
+		if e.Stress {
 			out = append(out, e)
 		}
 	}
@@ -181,5 +197,7 @@ func DefaultRegistry() *Registry {
 		Ablation: true, Run: AblationHysteresis, Check: wantRows(6)})
 	r.Register(Experiment{ID: "A4", Title: "Ablation — fact half-life (Definition 3.3)",
 		Ablation: true, Run: AblationFactHalfLife, Check: wantRows(5)})
+	r.Register(Experiment{ID: "S1", Title: "Stress — metropolis: 1000 mobile ships, churn + self-healing under load",
+		Stress: true, Run: func(s uint64) *Table { return RunS1(s).Table() }, Check: wantRows(5)})
 	return r
 }
