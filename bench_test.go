@@ -7,7 +7,6 @@ import (
 	"viator/internal/hw"
 	"viator/internal/netsim"
 	"viator/internal/roles"
-	"viator/internal/routing"
 	"viator/internal/shuttle"
 	"viator/internal/sim"
 	"viator/internal/spec"
@@ -188,15 +187,21 @@ func BenchmarkFabricEval(b *testing.B) {
 	}
 }
 
-func BenchmarkAdaptiveRouterPulse(b *testing.B) {
-	g := topo.ConnectedWaxman(48, 0.3, 0.25, sim.NewRNG(1))
-	r := routing.NewAdaptive(g, 4)
-	r.SpawnOverlay("qos", 3)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.ObserveUtilization(i%g.Links(), 0.5)
-		r.Pulse()
-	}
+// BenchmarkAdaptivePulse measures the adaptive control plane at S1 scale
+// (1000 nodes, ~16k links, 2 overlays): the gated no-op pulse, the
+// sparse-traffic lazy cycle, and the eager all-pairs Rebuild that
+// replaced the clone-per-overlay recomputation. Bodies are shared with
+// `viatorbench -bench-routing` via internal/benchprobe.
+func BenchmarkAdaptivePulse(b *testing.B) {
+	b.Run("Steady", benchprobe.AdaptivePulseSteady(42))
+	b.Run("LazySparse", benchprobe.AdaptivePulseLazySparse(42))
+	b.Run("Rebuild", benchprobe.AdaptivePulseRebuild(42))
+}
+
+// BenchmarkAdaptiveNextHop measures the warm-table forwarding lookup —
+// the per-hop per-packet control-plane cost. 0 allocs/op.
+func BenchmarkAdaptiveNextHop(b *testing.B) {
+	benchprobe.AdaptiveNextHop(42)(b)
 }
 
 func BenchmarkRoleFusionPipeline(b *testing.B) {

@@ -9,12 +9,16 @@
 // -bench switches to the substrate micro-benchmark suite: it times the
 // kernel schedule/fire path, the per-packet send path and a replicated E1
 // run, and emits a JSON document (the BENCH_kernel.json artifact tracked
-// by CI) instead of tables.
+// by CI) instead of tables. -bench-routing does the same for the adaptive
+// control plane — gated pulse, lazy sparse cycle, eager parallel rebuild
+// and the warm-table next-hop lookup at S1 scale — emitting the
+// BENCH_routing.json artifact.
 //
 // Usage:
 //
 //	viatorbench [-seed N] [-reps N] [-workers K] [-csv|-json] [-only E5,E11] [-ablations] [-stress] [-list]
 //	viatorbench -bench
+//	viatorbench -bench-routing
 package main
 
 import (
@@ -41,10 +45,15 @@ func main() {
 	stress := flag.Bool("stress", false, "also run the stress/scale scenarios (S1)")
 	list := flag.Bool("list", false, "list registered experiment ids and exit")
 	bench := flag.Bool("bench", false, "run the substrate micro-benchmark suite and emit JSON (BENCH_kernel.json)")
+	benchRouting := flag.Bool("bench-routing", false, "run the routing control-plane benchmark suite and emit JSON (BENCH_routing.json)")
 	flag.Parse()
 
 	if *bench {
 		runBench(*seed, *workers)
+		return
+	}
+	if *benchRouting {
+		runBenchRouting(*seed)
 		return
 	}
 
@@ -135,28 +144,49 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// runBench executes the substrate benchmark suite and writes the JSON
-// document to stdout (CI redirects it into BENCH_kernel.json). The bodies
-// are the exact ones `go test -bench` runs (internal/benchprobe), driven
-// through testing.Benchmark so iteration counts self-calibrate.
-func runBench(seed uint64, workers int) {
-	record := func(name string, fn func(b *testing.B)) benchResult {
-		r := testing.Benchmark(fn)
-		if r.N == 0 {
-			// b.Fatal inside the body yields a zero result; surface the
-			// failing benchmark instead of emitting NaN JSON.
-			fmt.Fprintf(os.Stderr, "viatorbench: benchmark %s failed (see log above)\n", name)
-			os.Exit(1)
-		}
-		return benchResult{
-			Name:        name,
-			Ops:         r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
+// record runs one benchmark body through testing.Benchmark (so iteration
+// counts self-calibrate) and packages the measurement.
+func record(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		// b.Fatal inside the body yields a zero result; surface the
+		// failing benchmark instead of emitting NaN JSON.
+		fmt.Fprintf(os.Stderr, "viatorbench: benchmark %s failed (see log above)\n", name)
+		os.Exit(1)
 	}
-	results := []benchResult{
+	return benchResult{
+		Name:        name,
+		Ops:         r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// emitBench writes one benchmark-suite JSON document to stdout (CI
+// redirects it into the matching BENCH_*.json artifact).
+func emitBench(generatedBy string, seed uint64, results []benchResult) {
+	doc := struct {
+		GeneratedBy string        `json:"generated_by"`
+		GoVersion   string        `json:"go_version"`
+		MaxProcs    int           `json:"go_max_procs"`
+		BaseSeed    uint64        `json:"base_seed"`
+		Benchmarks  []benchResult `json:"benchmarks"`
+	}{generatedBy, runtime.Version(), runtime.GOMAXPROCS(0), seed, results}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runBench executes the substrate benchmark suite (BENCH_kernel.json).
+// The bodies are the exact ones `go test -bench` runs
+// (internal/benchprobe), so CI's benchmark step and the artifact can
+// never silently diverge.
+func runBench(seed uint64, workers int) {
+	emitBench("viatorbench -bench", seed, []benchResult{
 		record("kernel.schedule_fire", benchprobe.KernelScheduleFire),
 		record("netsim.send_deliver", benchprobe.NetsimSendDeliver),
 		record("e1.replicated_4x", func(b *testing.B) {
@@ -165,19 +195,20 @@ func runBench(seed uint64, workers int) {
 				return err
 			})
 		}),
-	}
+	})
+}
 
-	doc := struct {
-		GeneratedBy string        `json:"generated_by"`
-		GoVersion   string        `json:"go_version"`
-		MaxProcs    int           `json:"go_max_procs"`
-		BaseSeed    uint64        `json:"base_seed"`
-		Benchmarks  []benchResult `json:"benchmarks"`
-	}{"viatorbench -bench", runtime.Version(), runtime.GOMAXPROCS(0), seed, results}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
-		os.Exit(1)
-	}
+// runBenchRouting executes the routing control-plane benchmark suite
+// (BENCH_routing.json): the gated no-op pulse, the sparse-traffic lazy
+// adaptation cycle, the eager parallel all-pairs rebuild and the
+// warm-table next-hop lookup, all on an S1-sized radio mesh (1000 nodes,
+// ~16k links, 2 overlays). Bodies are shared with `go test -bench
+// 'AdaptivePulse|AdaptiveNextHop'` via internal/benchprobe.
+func runBenchRouting(seed uint64) {
+	emitBench("viatorbench -bench-routing", seed, []benchResult{
+		record("routing.pulse_steady", benchprobe.AdaptivePulseSteady(seed)),
+		record("routing.pulse_lazy_sparse", benchprobe.AdaptivePulseLazySparse(seed)),
+		record("routing.pulse_rebuild", benchprobe.AdaptivePulseRebuild(seed)),
+		record("routing.next_hop", benchprobe.AdaptiveNextHop(seed)),
+	})
 }

@@ -22,9 +22,12 @@ import (
 // and it doubles as a long-horizon determinism probe, since every one of
 // its numbers must replay exactly for a fixed seed.
 //
-// Sized so one run stays in the low seconds: the cost is dominated by the
-// periodic all-pairs route recomputations (~n Dijkstras over ~17k links),
-// not by the per-packet path.
+// Sized so one run stays in the low seconds. The periodic all-pairs route
+// recomputations (~n Dijkstras over ~17k links) that used to dominate it
+// are gone: pulses only invalidate, and per-source tables are rebuilt
+// lazily for the handful of sources the background traffic actually
+// touches between refreshes, so the scenario now exercises the mobility,
+// churn and packet machinery it was built to stress.
 
 // s1Ships is the metropolis fleet size.
 const s1Ships = 1000

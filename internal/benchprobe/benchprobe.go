@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"viator/internal/netsim"
+	"viator/internal/routing"
 	"viator/internal/sim"
 	"viator/internal/topo"
 )
@@ -63,6 +64,115 @@ func Replicated(b *testing.B, run func() error) {
 	for i := 0; i < b.N; i++ {
 		if err := run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- routing control-plane benchmarks (BENCH_routing.json) ---
+//
+// Each body is a constructor taking the topology seed and returning the
+// benchmark func, so the seed recorded in the emitted artifact is the
+// seed the numbers were actually measured on.
+
+// controlPlaneGraph builds the S1-sized control-plane benchmark topology:
+// 1000 nodes on a 1000×1000 arena with radio range 75 — the same radio-
+// mesh density as the metropolis scenario, ~16k directed links.
+func controlPlaneGraph(seed uint64) *topo.Graph {
+	return topo.RandomGeometric(1000, 1000, 75, sim.NewRNG(seed))
+}
+
+// controlPlaneRouter is the benchmark router: the default overlay plus a
+// congestion-phobic QoS class, with utilization observed on every link.
+func controlPlaneRouter(g *topo.Graph) *routing.Adaptive {
+	r := routing.NewAdaptive(g, 4)
+	r.SpawnOverlay("qos", 3)
+	for li := 0; li < g.Links(); li++ {
+		r.ObserveUtilization(li, 0.5)
+	}
+	return r
+}
+
+// AdaptivePulseSteady measures the gated no-op pulse: no routing input
+// changed since the last invalidation, so a pulse is one version compare
+// plus a utilization-snapshot scan. 0 allocs/op.
+func AdaptivePulseSteady(seed uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		g := controlPlaneGraph(seed)
+		r := controlPlaneRouter(g)
+		r.Pulse()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Pulse()
+		}
+		b.StopTimer()
+		if r.Recomputes != 1 || r.SkippedPulses != b.N {
+			b.Fatalf("gate failed: recomputes=%d skipped=%d", r.Recomputes, r.SkippedPulses)
+		}
+	}
+}
+
+// AdaptivePulseLazySparse measures the sparse-traffic adaptation cycle:
+// fresh utilization on one link, an invalidating pulse, then routes from
+// 16 sources — the per-source lazy builds, not all-pairs.
+func AdaptivePulseLazySparse(seed uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		g := controlPlaneGraph(seed)
+		r := controlPlaneRouter(g)
+		n := topo.NodeID(g.N())
+		// Warm the pooled tables/scratches so the figures show the steady
+		// state, not the one-time build of the table arena.
+		r.Pulse()
+		r.Rebuild()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.ObserveUtilization(i%g.Links(), float64(i%7)/8)
+			r.Pulse()
+			for s := 0; s < 16; s++ {
+				src := topo.NodeID((i*31 + s*61) % int(n))
+				r.NextHop("qos", src, (src+n/2)%n)
+			}
+		}
+	}
+}
+
+// AdaptivePulseRebuild measures the full eager adaptation at S1 scale:
+// fresh utilization, an invalidating pulse, then Rebuild fans the
+// all-pairs recomputation of every overlay over the worker pool — the
+// direct successor of the old clone-per-overlay Pulse.
+func AdaptivePulseRebuild(seed uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		g := controlPlaneGraph(seed)
+		r := controlPlaneRouter(g)
+		// Warm the pooled tables/scratches so the figures show the steady
+		// state, not the one-time build of the table arena.
+		r.Pulse()
+		r.Rebuild()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.ObserveUtilization(i%g.Links(), float64(i%7)/8)
+			r.Pulse()
+			r.Rebuild()
+		}
+	}
+}
+
+// AdaptiveNextHop measures the forwarding-path lookup on warm tables —
+// the per-hop per-packet cost. O(1) array reads, 0 allocs/op.
+func AdaptiveNextHop(seed uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		g := controlPlaneGraph(seed)
+		r := controlPlaneRouter(g)
+		r.Pulse()
+		r.Rebuild()
+		n := topo.NodeID(g.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := topo.NodeID(i) % n
+			r.NextHop("qos", src, (src+n/2)%n)
 		}
 	}
 }

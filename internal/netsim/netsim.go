@@ -124,16 +124,19 @@ type Net struct {
 
 	// Integer keys into C for the per-packet counters (see stats.Key).
 	kNoLink, kDropTTL, kDropQueue, kDropRED, kDropLoss stats.Key
-	kDelivered, kBytes                                 stats.Key
+	kDropRoute, kDelivered, kBytes                     stats.Key
 
 	// Delivered counts packets handed to the receive callback; DroppedQ and
 	// DroppedLoss count queue-overflow and random-loss drops respectively;
-	// DroppedRED counts random-early-detection drops.
-	Delivered   uint64
-	DroppedQ    uint64
-	DroppedLoss uint64
-	DroppedTTL  uint64
-	DroppedRED  uint64
+	// DroppedRED counts random-early-detection drops. DroppedRoute counts
+	// packets the upper layer abandoned mid-path via Drop because routing
+	// produced no next hop — a failure the transport cannot see itself.
+	Delivered    uint64
+	DroppedQ     uint64
+	DroppedLoss  uint64
+	DroppedTTL   uint64
+	DroppedRED   uint64
+	DroppedRoute uint64
 }
 
 // New creates a transport over g with every link at DefaultLinkProps.
@@ -144,6 +147,7 @@ func New(k *sim.Kernel, g *topo.Graph) *Net {
 	n.kDropQueue = n.C.Key("drop.queue")
 	n.kDropRED = n.C.Key("drop.red")
 	n.kDropLoss = n.C.Key("drop.loss")
+	n.kDropRoute = n.C.Key("drop.noroute")
 	n.kDelivered = n.C.Key("e2e.delivered")
 	n.kBytes = n.C.Key("e2e.bytes")
 	n.syncLinks()
@@ -362,6 +366,17 @@ func (n *Net) Deliver(p *Packet) {
 	n.Latency.Add(n.K.Now() - p.Created)
 	n.C.Add(n.kDelivered, 1)
 	n.C.Add(n.kBytes, float64(p.Size))
+}
+
+// Drop finalizes a packet the upper layer cannot forward because routing
+// produced no next hop. Transport-level failures (no link, queue
+// overflow, RED, loss, TTL) are recorded by Send/arrival themselves; this
+// is the one failure only the routing layer can see, and recording it
+// keeps the end-to-end invariant that every injected packet lands in
+// exactly one of Deliver or a drop counter.
+func (n *Net) Drop(p *Packet) {
+	n.DroppedRoute++
+	n.C.Add(n.kDropRoute, 1)
 }
 
 // LinkStats summarizes one link's activity.

@@ -1,0 +1,197 @@
+package routing
+
+import (
+	"testing"
+
+	"viator/internal/sim"
+	"viator/internal/topo"
+)
+
+// TestTeardownDefaultOverlayGuarded is the regression test for the
+// nil-table crash: tearing down the default "" overlay used to succeed,
+// after which any NextHop/Path on an unknown overlay indexed a nil
+// fallback table and panicked. The default overlay is now permanent.
+func TestTeardownDefaultOverlayGuarded(t *testing.T) {
+	g := topo.Line(3)
+	a := NewAdaptive(g, 2)
+	a.SpawnOverlay("qos", 3)
+	a.TeardownOverlay(DefaultOverlay) // refused: "" is the universal fallback
+	if names := a.Overlays(); len(names) != 2 || names[0] != DefaultOverlay {
+		t.Fatalf("overlays after default teardown = %v", names)
+	}
+	a.TeardownOverlay("qos")
+	// Both of these crashed before the guard.
+	if hop := a.NextHop("qos", 0, 2); hop != 1 {
+		t.Fatalf("fallback NextHop = %d, want 1", hop)
+	}
+	if p := a.Path("nosuch", 0, 2); len(p) != 3 {
+		t.Fatalf("fallback Path = %v", p)
+	}
+	if hop := a.NextHop(DefaultOverlay, 0, 2); hop != 1 {
+		t.Fatalf("default NextHop = %d, want 1", hop)
+	}
+}
+
+// TestPulseGateSkipsUnchangedInputs pins the incremental-pulse contract:
+// a pulse recomputes only when topology version, utilization estimates or
+// the congestion weight moved since the last one.
+func TestPulseGateSkipsUnchangedInputs(t *testing.T) {
+	g := topo.Grid(3, 3)
+	a := NewAdaptive(g, 2)
+	a.Pulse() // no fingerprint yet: recomputes
+	a.Pulse()
+	a.Pulse()
+	if a.Pulses != 3 || a.Recomputes != 1 || a.SkippedPulses != 2 {
+		t.Fatalf("pulses=%d recomputes=%d skipped=%d", a.Pulses, a.Recomputes, a.SkippedPulses)
+	}
+	check := func(want int, why string) {
+		t.Helper()
+		a.Pulse()
+		if a.Recomputes != want {
+			t.Fatalf("%s: recomputes = %d, want %d", why, a.Recomputes, want)
+		}
+	}
+	a.ObserveUtilization(0, 0.5)
+	check(2, "fresh utilization")
+	check(2, "utilization unchanged since")
+	g.SetUp(0, false)
+	check(3, "link down bumps version")
+	g.SetUp(0, false) // no-op write: no version bump
+	check(3, "no-op SetUp")
+	g.SetCost(1, 9)
+	check(4, "cost change bumps version")
+	a.CongestionWeight = 7
+	check(5, "congestion weight change")
+	// Routing still reflects the current state after all the gating.
+	if hop := a.NextHop("", 0, 8); hop == -1 {
+		t.Fatal("no route through churned grid")
+	}
+}
+
+// TestLazyEagerParallelIdentical drives identical mutation/feedback
+// scripts through a lazy-only router and eager-Rebuild routers at
+// several worker counts, and requires identical routing decisions from
+// all of them — the determinism argument for the parallel fan-out and
+// for lazy evaluation at once.
+func TestLazyEagerParallelIdentical(t *testing.T) {
+	build := func() (*Adaptive, *topo.Graph) {
+		g := topo.ConnectedWaxman(40, 0.4, 0.3, sim.NewRNG(11))
+		a := NewAdaptive(g, 3)
+		a.SpawnOverlay("qos", 4)
+		a.SpawnOverlay("bulk", 0)
+		return a, g
+	}
+	run := func(a *Adaptive, g *topo.Graph, workers int, eager bool) {
+		a.Workers = workers
+		r := sim.NewRNG(7)
+		for round := 0; round < 4; round++ {
+			for k := 0; k < 8; k++ {
+				a.ObserveUtilization(r.Intn(g.Links()), r.Float64())
+			}
+			if round == 2 {
+				g.SetUp(r.Intn(g.Links()), false)
+			}
+			a.Pulse()
+			if eager {
+				a.Rebuild()
+			}
+			// Touch a few sources mid-script so lazy and eager interleave.
+			a.NextHop("qos", topo.NodeID(r.Intn(g.N())), topo.NodeID(r.Intn(g.N())))
+		}
+	}
+	ref, refG := build()
+	run(ref, refG, 1, false)
+	for _, cfg := range []struct {
+		workers int
+		eager   bool
+	}{{1, true}, {4, true}, {8, true}, {3, false}} {
+		a, g := build()
+		run(a, g, cfg.workers, cfg.eager)
+		for _, ov := range []string{"", "qos", "bulk"} {
+			for src := 0; src < g.N(); src++ {
+				for dst := 0; dst < g.N(); dst++ {
+					want := ref.NextHop(ov, topo.NodeID(src), topo.NodeID(dst))
+					got := a.NextHop(ov, topo.NodeID(src), topo.NodeID(dst))
+					if got != want {
+						t.Fatalf("workers=%d eager=%v overlay=%q: hop %d→%d = %d, lazy reference %d",
+							cfg.workers, cfg.eager, ov, src, dst, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPulseSeesAddedNodes is the regression test for the gate treating
+// Version as a complete topology fingerprint: adding a node must reopen
+// the gate, so the next pulse grows the tables and routes toward the new
+// node resolve (or return -1) instead of indexing out of range.
+func TestPulseSeesAddedNodes(t *testing.T) {
+	g := topo.Line(3)
+	a := NewAdaptive(g, 2)
+	a.Pulse()
+	n := g.AddNode()
+	g.ConnectBoth(2, n, 1)
+	a.Pulse() // must recapture: the node grew the topology
+	if hop := a.NextHop("", 0, n); hop != 1 {
+		t.Fatalf("hop toward added node = %d, want 1", hop)
+	}
+	// A node with no links yet is unreachable, not a panic.
+	m := g.AddNode()
+	a.Pulse()
+	if hop := a.NextHop("", 0, m); hop != -1 {
+		t.Fatalf("hop toward isolated node = %d, want -1", hop)
+	}
+	// Routing toward a node added after the last pulse — i.e. before the
+	// capture knows it exists — is refused, not a panic, for src and dst
+	// alike.
+	w := g.AddNode()
+	g.ConnectBoth(2, w, 1)
+	if hop := a.NextHop("", 0, w); hop != -1 {
+		t.Fatalf("pre-pulse hop toward new node = %d, want -1", hop)
+	}
+	if p := a.Path("", 0, w); p != nil {
+		t.Fatalf("pre-pulse path toward new node = %v, want nil", p)
+	}
+	if hop := a.NextHop("", w, 0); hop != -1 {
+		t.Fatalf("pre-pulse hop from new node = %d, want -1", hop)
+	}
+	a.Pulse()
+	if hop := a.NextHop("", 0, w); hop != 1 {
+		t.Fatalf("post-pulse hop toward new node = %d, want 1", hop)
+	}
+}
+
+// TestAdaptiveNextHopAllocationFree pins the forwarding-path lookup —
+// once per hop per packet — at 0 allocs/op on warm tables.
+func TestAdaptiveNextHopAllocationFree(t *testing.T) {
+	g := topo.ConnectedWaxman(32, 0.4, 0.3, sim.NewRNG(3))
+	a := NewAdaptive(g, 2)
+	a.SpawnOverlay("qos", 3)
+	a.Pulse()
+	a.Rebuild()
+	dst := topo.NodeID(g.N() - 1)
+	if allocs := testing.AllocsPerRun(200, func() {
+		a.NextHop("", 0, dst)
+		a.NextHop("qos", 1, dst)
+		a.NextHop("nosuch", 2, dst) // fallback path included
+	}); allocs != 0 {
+		t.Fatalf("NextHop allocates %v per op", allocs)
+	}
+}
+
+// TestLazyBuildsCountSparseTraffic checks that a post-invalidation pulse
+// computes only the tables traffic actually touches.
+func TestLazyBuildsCountSparseTraffic(t *testing.T) {
+	g := topo.Grid(5, 5)
+	a := NewAdaptive(g, 2)
+	a.ObserveUtilization(0, 0.9)
+	a.Pulse()
+	before := a.LazyBuilds
+	a.NextHop("", 0, 24)
+	a.NextHop("", 0, 12) // same source: table reused
+	a.NextHop("", 7, 24)
+	if built := a.LazyBuilds - before; built != 2 {
+		t.Fatalf("lazy builds = %d, want 2 (sources 0 and 7)", built)
+	}
+}

@@ -5,10 +5,39 @@
 // router that realizes "routing control ... overlaying and managing
 // several virtual topologies on top of the same physical network" —
 // the vertical intra-node overlay class of section D.
+//
+// # Control-plane design
+//
+// All four routers are built on the topo package's scratch-based
+// shortest-path kernels (topo.SPTScratch / Graph.ComputeInto for
+// Dijkstra, topo.BFSScratch / Graph.BFSInto for floods), so steady-state
+// recomputation allocates nothing.
+//
+// The adaptive router is additionally incremental end to end:
+//
+//   - Virtual topologies are cost overlays, not graph clones. Each
+//     overlay owns one pooled topo.CostOverlay — the up links in CSR
+//     layout, priced by the blended metric (propagation cost +
+//     congestion penalty) — recaptured in place at invalidation time.
+//   - Pulse is gated: when neither topo.Graph.Version() (which moves on
+//     every link add / up / down / cost change) nor the EWMA utilization
+//     snapshot nor the congestion weight has changed since the last
+//     invalidation, the pulse is a counter bump plus one slice compare.
+//   - Invalidation is O(links), not O(n · Dijkstra): it refreshes the
+//     cost snapshots and bumps a generation number. Each source's tree is
+//     rebuilt lazily on its first NextHop/Path after that, so
+//     sparse-traffic scenarios never pay the all-pairs cost.
+//   - Rebuild forces the all-pairs computation eagerly, fanning sources
+//     over a worker pool. Sources are independent, every worker owns a
+//     private scratch and a disjoint range of table slots, and the
+//     per-source computation is deterministic — so the resulting tables
+//     are byte-identical to the lazy/serial path for every worker count.
 package routing
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"viator/internal/stats"
 	"viator/internal/topo"
@@ -21,6 +50,7 @@ import (
 type Static struct {
 	g      *topo.Graph
 	tables []*topo.SPT
+	sc     topo.SPTScratch
 	// Recomputes counts full table rebuilds.
 	Recomputes int
 }
@@ -32,11 +62,16 @@ func NewStatic(g *topo.Graph) *Static {
 	return s
 }
 
-// Recompute rebuilds every source's shortest-path tree.
+// Recompute rebuilds every source's shortest-path tree in place; after
+// the first build it allocates nothing.
 func (s *Static) Recompute() {
-	s.tables = make([]*topo.SPT, s.g.N())
-	for i := 0; i < s.g.N(); i++ {
-		s.tables[i] = s.g.Dijkstra(topo.NodeID(i))
+	n := s.g.N()
+	for len(s.tables) < n {
+		s.tables = append(s.tables, &topo.SPT{})
+	}
+	s.tables = s.tables[:n]
+	for i := 0; i < n; i++ {
+		s.g.ComputeInto(&s.sc, s.tables[i], topo.NodeID(i))
 	}
 	s.Recomputes++
 }
@@ -89,14 +124,19 @@ func NewDistanceVector(g *topo.Graph) *DistanceVector {
 
 // Converge runs synchronous exchange rounds until no table changes,
 // returning (rounds, messages). Each round every node advertises its
-// vector to every up neighbor.
+// vector to every up neighbor. The rounds iterate the graph's adjacency
+// storage directly (topo.Graph.AdjLinks), so converging allocates
+// nothing beyond the tables themselves.
 func (dv *DistanceVector) Converge(maxRounds int) (rounds, messages int) {
 	n := dv.g.N()
 	for r := 0; r < maxRounds; r++ {
 		changed := false
 		for i := 0; i < n; i++ {
-			for _, li := range dv.g.OutLinks(topo.NodeID(i)) {
+			for _, li := range dv.g.AdjLinks(topo.NodeID(i)) {
 				l := dv.g.Link(li)
+				if !l.Up {
+					continue
+				}
 				messages++ // i advertises to l.To
 				for dst := 0; dst < n; dst++ {
 					cand := l.Cost + dv.dist[i][dst]
@@ -134,6 +174,10 @@ func (dv *DistanceVector) Cost(src, dst topo.NodeID) float64 {
 type AODV struct {
 	g     *topo.Graph
 	cache map[[2]topo.NodeID][]topo.NodeID
+	sc    topo.BFSScratch
+	// onRREQ is the persistent flood callback (one closure for the
+	// router's life, not one per discovery).
+	onRREQ func(from, to topo.NodeID)
 
 	// Discoveries and ControlMsgs account route-request floods.
 	Discoveries uint64
@@ -143,11 +187,15 @@ type AODV struct {
 
 // NewAODV creates an on-demand router over g.
 func NewAODV(g *topo.Graph) *AODV {
-	return &AODV{g: g, cache: make(map[[2]topo.NodeID][]topo.NodeID)}
+	a := &AODV{g: g, cache: make(map[[2]topo.NodeID][]topo.NodeID)}
+	a.onRREQ = func(from, to topo.NodeID) { a.ControlMsgs++ }
+	return a
 }
 
 // Route returns a path src→dst, using the cache when the cached path is
 // still valid, otherwise flooding a discovery. nil means unreachable.
+// Discovery runs on the scratch-based BFS kernel; the only allocation is
+// the returned path, which the cache retains.
 func (a *AODV) Route(src, dst topo.NodeID) []topo.NodeID {
 	key := [2]topo.NodeID{src, dst}
 	if p, ok := a.cache[key]; ok && a.valid(p) {
@@ -157,40 +205,19 @@ func (a *AODV) Route(src, dst topo.NodeID) []topo.NodeID {
 	// Discovery: BFS flood. Every node forwards the RREQ once to each
 	// neighbor; the reply unicasts back along the discovered path.
 	a.Discoveries++
-	prev := make(map[topo.NodeID]topo.NodeID)
-	seen := map[topo.NodeID]bool{src: true}
-	queue := []topo.NodeID{src}
-	found := false
-	for len(queue) > 0 && !found {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range a.g.Neighbors(u) {
-			a.ControlMsgs++ // RREQ transmission u→v
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
-			prev[v] = u
-			if v == dst {
-				found = true
-				break
-			}
-			queue = append(queue, v)
-		}
-	}
-	if !found {
+	if !a.g.BFSInto(&a.sc, src, dst, a.onRREQ) {
 		return nil
 	}
-	var rev []topo.NodeID
-	for v := dst; ; v = prev[v] {
-		rev = append(rev, v)
+	hops := 1
+	for v := dst; v != src; v = a.sc.Prev(v) {
+		hops++
+	}
+	path := make([]topo.NodeID, hops)
+	for v, i := dst, hops-1; ; v, i = a.sc.Prev(v), i-1 {
+		path[i] = v
 		if v == src {
 			break
 		}
-	}
-	path := make([]topo.NodeID, len(rev))
-	for i := range rev {
-		path[i] = rev[len(rev)-1-i]
 	}
 	a.ControlMsgs += uint64(len(path) - 1) // RREP back along the path
 	a.cache[key] = path
@@ -223,22 +250,67 @@ func (a *AODV) InvalidateNode(n topo.NodeID) {
 // CacheSize returns the number of cached routes.
 func (a *AODV) CacheSize() int { return len(a.cache) }
 
+// DefaultOverlay is the name of the adaptive router's built-in overlay.
+// It is the fallback for every unknown overlay name and cannot be torn
+// down.
+const DefaultOverlay = ""
+
+// overlay is one virtual topology: a congestion bias, a frozen
+// effective-cost capture of the graph, and lazily built per-source
+// routing tables.
+type overlay struct {
+	bias float64
+	// ov is the pooled topo.CostOverlay holding the up links and their
+	// blended metrics as of the last invalidation. Recaptured in place —
+	// spawning or re-pulsing an overlay never clones the graph.
+	ov topo.CostOverlay
+	// costOf prices one link for this overlay; one persistent closure
+	// for the overlay's life, handed to Graph.CaptureInto.
+	costOf func(li int) float64
+	// gen/stamp implement O(1) invalidation: tables[i] is valid iff
+	// stamp[i] == gen, so bumping gen invalidates every source without
+	// touching the table memory (which is reused by the next build).
+	gen    uint64
+	stamp  []uint64
+	tables []*topo.SPT
+	sc     topo.SPTScratch
+	wsc    []*topo.SPTScratch // per-worker scratches for Rebuild
+}
+
 // Adaptive is the WLI QoS router: link costs blend propagation cost with
 // a congestion estimate fed by per-link utilization feedback, and
 // per-class overlays reweight the blend — topology-on-demand. Pulse
-// recomputes the tables from fresh feedback.
+// refreshes the overlays from current feedback; see the package comment
+// for how pulses are gated, invalidation stays O(links), tables build
+// lazily per source, and Rebuild fans the eager all-pairs case over a
+// worker pool.
 type Adaptive struct {
 	g *topo.Graph
 	// CongestionWeight scales how strongly utilization inflates cost.
 	CongestionWeight float64
+	// Workers bounds the goroutines Rebuild fans sources over; 0 means
+	// GOMAXPROCS. The computed tables are identical for every value.
+	Workers int
 
-	util   []stats.EWMA
-	tables map[string][]*topo.SPT // per overlay class
-	biases map[string]float64
-	order  []string
+	util     []stats.EWMA
+	overlays map[string]*overlay
+	order    []string
 
-	// Pulses counts feedback-driven recomputations.
-	Pulses int
+	// Pulse gate: the input fingerprint the current cost snapshots were
+	// taken from. A pulse recomputes only when it no longer matches.
+	gateValid   bool
+	gateVersion uint64
+	gateWeight  float64
+	gateUtil    []float64
+
+	// Pulses counts Pulse calls; Recomputes counts pulses that found
+	// changed inputs and invalidated the tables; SkippedPulses counts
+	// gated no-ops; LazyBuilds counts single-source table builds done on
+	// demand by NextHop/Path.
+	Pulses        int
+	Recomputes    int
+	SkippedPulses int
+	LazyBuilds    uint64
 }
 
 // NewAdaptive creates the adaptive router with a default overlay "" of
@@ -246,10 +318,9 @@ type Adaptive struct {
 func NewAdaptive(g *topo.Graph, congestionWeight float64) *Adaptive {
 	a := &Adaptive{
 		g: g, CongestionWeight: congestionWeight,
-		tables: make(map[string][]*topo.SPT),
-		biases: make(map[string]float64),
+		overlays: make(map[string]*overlay),
 	}
-	a.SpawnOverlay("", 1)
+	a.SpawnOverlay(DefaultOverlay, 1)
 	return a
 }
 
@@ -277,18 +348,30 @@ func (a *Adaptive) effectiveCost(li int, bias float64) float64 {
 // SpawnOverlay creates (or reweights) a virtual overlay network with the
 // given congestion bias: bias > 1 is a latency-sensitive class that flees
 // congestion aggressively, bias 0 ignores congestion (bulk class).
+// Spawning captures the overlay's cost snapshot but computes no tables —
+// they are built per source on first use.
 func (a *Adaptive) SpawnOverlay(name string, bias float64) {
-	if _, exists := a.biases[name]; !exists {
+	o, exists := a.overlays[name]
+	if !exists {
+		o = &overlay{}
+		o.costOf = func(li int) float64 { return a.effectiveCost(li, o.bias) }
+		a.overlays[name] = o
 		a.order = append(a.order, name)
 	}
-	a.biases[name] = bias
-	a.recomputeOverlay(name)
+	o.bias = bias
+	a.invalidate(o)
 }
 
-// TeardownOverlay removes a virtual overlay.
+// TeardownOverlay removes a virtual overlay. The default "" overlay is
+// the fallback for every unknown overlay name and cannot be torn down —
+// removing it is a no-op. (It used to be removable, which left NextHop
+// and Path indexing a nil fallback table and panicking on the next
+// unknown-overlay route.)
 func (a *Adaptive) TeardownOverlay(name string) {
-	delete(a.biases, name)
-	delete(a.tables, name)
+	if name == DefaultOverlay {
+		return
+	}
+	delete(a.overlays, name)
 	for i, o := range a.order {
 		if o == name {
 			a.order = append(a.order[:i], a.order[i+1:]...)
@@ -304,49 +387,196 @@ func (a *Adaptive) Overlays() []string {
 	return out
 }
 
-func (a *Adaptive) recomputeOverlay(name string) {
-	bias := a.biases[name]
-	// Dijkstra over effective costs: clone the graph costs virtually by
-	// running Dijkstra on a cost-adjusted copy.
-	cg := a.g.Clone()
-	for li := 0; li < cg.Links(); li++ {
-		if cg.Link(li).Up {
-			cg.SetCost(li, a.effectiveCost(li, bias))
+// invalidate recaptures o's effective-cost overlay from the live graph
+// and feedback state and invalidates every source's table. O(links).
+func (a *Adaptive) invalidate(o *overlay) {
+	a.g.CaptureInto(&o.ov, o.costOf)
+	n := o.ov.N()
+	for len(o.tables) < n {
+		o.tables = append(o.tables, nil)
+		o.stamp = append(o.stamp, 0)
+	}
+	o.gen++
+}
+
+// spt returns the overlay's table for src, building it from the frozen
+// cost snapshot if it is stale. The build reuses the table's and the
+// scratch's memory, so steady-state rebuilds allocate nothing.
+func (a *Adaptive) spt(o *overlay, src topo.NodeID) *topo.SPT {
+	if int(src) >= len(o.tables) {
+		return nil // node added after the snapshot; no route yet
+	}
+	if o.stamp[src] != o.gen {
+		t := o.tables[src]
+		if t == nil {
+			t = &topo.SPT{}
+			o.tables[src] = t
+		}
+		o.ov.ComputeOverlayInto(&o.sc, t, src)
+		o.stamp[src] = o.gen
+		a.LazyBuilds++
+	}
+	return o.tables[src]
+}
+
+// lookup resolves an overlay name, falling back to the default overlay —
+// which always exists: NewAdaptive creates it and TeardownOverlay
+// refuses to remove it.
+func (a *Adaptive) lookup(name string) *overlay {
+	if o, ok := a.overlays[name]; ok {
+		return o
+	}
+	return a.overlays[DefaultOverlay]
+}
+
+// inputsChanged reports whether any routing input moved since the gate
+// fingerprint was taken: topology (version covers link add/up/down/cost),
+// the congestion weight, or any link's EWMA utilization estimate.
+func (a *Adaptive) inputsChanged() bool {
+	if !a.gateValid ||
+		a.gateVersion != a.g.Version() ||
+		a.gateWeight != a.CongestionWeight ||
+		len(a.gateUtil) != len(a.util) {
+		return true
+	}
+	for i := range a.util {
+		if a.util[i].Value() != a.gateUtil[i] {
+			return true
 		}
 	}
-	tables := make([]*topo.SPT, cg.N())
-	for i := 0; i < cg.N(); i++ {
-		tables[i] = cg.Dijkstra(topo.NodeID(i))
-	}
-	a.tables[name] = tables
+	return false
 }
 
-// Pulse recomputes every overlay from current feedback — the periodic
-// adaptation step of the vertical wandering scheme.
+// rememberInputs stores the gate fingerprint matching the cost snapshots
+// just captured.
+func (a *Adaptive) rememberInputs() {
+	a.gateValid = true
+	a.gateVersion = a.g.Version()
+	a.gateWeight = a.CongestionWeight
+	if cap(a.gateUtil) < len(a.util) {
+		a.gateUtil = make([]float64, len(a.util))
+	}
+	a.gateUtil = a.gateUtil[:len(a.util)]
+	for i := range a.util {
+		a.gateUtil[i] = a.util[i].Value()
+	}
+}
+
+// Pulse refreshes every overlay from current feedback — the periodic
+// adaptation step of the vertical wandering scheme. It is incremental
+// twice over: when no routing input changed since the last pulse it does
+// nothing at all, and when inputs did change it only recaptures the
+// per-overlay cost snapshots and invalidates — each source's tree is then
+// rebuilt lazily on its next use (or eagerly by Rebuild).
 func (a *Adaptive) Pulse() {
-	for _, name := range a.order {
-		a.recomputeOverlay(name)
-	}
 	a.Pulses++
+	if !a.inputsChanged() {
+		a.SkippedPulses++
+		return
+	}
+	for _, name := range a.order {
+		a.invalidate(a.overlays[name])
+	}
+	a.rememberInputs()
+	a.Recomputes++
 }
 
-// NextHop routes within an overlay; unknown overlays fall back to "".
-func (a *Adaptive) NextHop(overlay string, src, dst topo.NodeID) topo.NodeID {
-	t, ok := a.tables[overlay]
-	if !ok {
-		t = a.tables[""]
+// Rebuild forces every overlay's stale tables to be computed now, fanning
+// sources across the worker pool (Workers; 0 = GOMAXPROCS). Sources are
+// independent, each worker owns a private scratch and a disjoint range of
+// table slots, and each per-source computation is deterministic, so the
+// tables are byte-identical to the lazy/serial path for every worker
+// count. Callers that prefer paying the all-pairs cost upfront use it;
+// the simulation loop relies on lazy per-source builds instead.
+func (a *Adaptive) Rebuild() {
+	for _, name := range a.order {
+		a.rebuildOverlay(a.overlays[name])
 	}
+}
+
+func (a *Adaptive) rebuildOverlay(o *overlay) {
+	n := len(o.tables)
+	if n == 0 {
+		return
+	}
+	workers := a.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// Materialize table structs up front so workers only touch disjoint,
+	// pre-existing slots.
+	for i, t := range o.tables {
+		if t == nil {
+			o.tables[i] = &topo.SPT{}
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if o.stamp[i] != o.gen {
+				o.ov.ComputeOverlayInto(&o.sc, o.tables[i], topo.NodeID(i))
+				o.stamp[i] = o.gen
+			}
+		}
+		return
+	}
+	for len(o.wsc) < workers {
+		o.wsc = append(o.wsc, &topo.SPTScratch{})
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(sc *topo.SPTScratch, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if o.stamp[i] != o.gen {
+					o.ov.ComputeOverlayInto(sc, o.tables[i], topo.NodeID(i))
+					o.stamp[i] = o.gen
+				}
+			}
+		}(o.wsc[w], lo, hi)
+	}
+	wg.Wait()
+}
+
+// NextHop routes within an overlay; unknown overlays fall back to the
+// default overlay. It returns -1 when dst is unreachable. The overlay's
+// table for src is built on first use after an invalidation, so callers
+// touching few sources never pay the all-pairs cost.
+func (a *Adaptive) NextHop(overlay string, src, dst topo.NodeID) topo.NodeID {
 	if src == dst {
 		return dst
 	}
-	return t[src].NextHop(dst)
+	o := a.lookup(overlay)
+	if int(dst) >= o.ov.N() {
+		return -1 // node added after the capture: no route until a pulse
+	}
+	t := a.spt(o, src)
+	if t == nil {
+		return -1
+	}
+	return t.NextHop(dst)
 }
 
 // Path returns the overlay path src→dst, or nil.
 func (a *Adaptive) Path(overlay string, src, dst topo.NodeID) []topo.NodeID {
-	t, ok := a.tables[overlay]
-	if !ok {
-		t = a.tables[""]
+	o := a.lookup(overlay)
+	if int(dst) >= o.ov.N() {
+		return nil // node added after the capture: no route until a pulse
 	}
-	return t[src].PathTo(dst)
+	t := a.spt(o, src)
+	if t == nil {
+		return nil
+	}
+	return t.PathTo(dst)
 }

@@ -1,0 +1,321 @@
+package topo
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+
+	"viator/internal/sim"
+)
+
+// This file retains the pre-overhaul container/heap Dijkstra verbatim as
+// the oracle for the scratch-based kernel: the rewrite must reproduce its
+// trees exactly — distances, predecessors and therefore every equal-cost
+// tie-break — on arbitrary graphs under arbitrary link churn, because the
+// experiment catalog's byte-identical determinism contract rides on those
+// tie-breaks.
+
+type refItem struct {
+	node NodeID
+	dist float64
+}
+
+type refHeap []refItem
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(refItem)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// referenceDijkstra is the original implementation: boxed heap, lazy
+// deletion, relaxation in adjacency order over up links.
+func referenceDijkstra(g *Graph, src NodeID) *SPT {
+	t := &SPT{Source: src, Dist: make([]float64, g.N()), Prev: make([]NodeID, g.N())}
+	for i := range t.Dist {
+		t.Dist[i] = math.Inf(1)
+		t.Prev[i] = -1
+	}
+	t.Dist[src] = 0
+	h := &refHeap{{src, 0}}
+	done := make([]bool, g.N())
+	for h.Len() > 0 {
+		it := heap.Pop(h).(refItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, li := range g.adj[u] {
+			l := g.link[li]
+			if !l.Up {
+				continue
+			}
+			if l.Cost < 0 {
+				panic("topo: negative link cost")
+			}
+			nd := t.Dist[u] + l.Cost
+			if nd < t.Dist[l.To] {
+				t.Dist[l.To] = nd
+				t.Prev[l.To] = u
+				heap.Push(h, refItem{l.To, nd})
+			}
+		}
+	}
+	return t
+}
+
+// expectEqualSPT requires exact equality — including tie-breaks — between
+// a computed tree and the reference, and that the precomputed next-hop
+// table agrees with path reconstruction on the reference tree.
+func expectEqualSPT(t *testing.T, got, ref *SPT) {
+	t.Helper()
+	n := len(ref.Dist)
+	if len(got.Dist) != n || len(got.Prev) != n {
+		t.Fatalf("size mismatch: got %d/%d want %d", len(got.Dist), len(got.Prev), n)
+	}
+	for i := 0; i < n; i++ {
+		if got.Dist[i] != ref.Dist[i] && !(math.IsInf(got.Dist[i], 1) && math.IsInf(ref.Dist[i], 1)) {
+			t.Fatalf("dist[%d] = %v, reference %v", i, got.Dist[i], ref.Dist[i])
+		}
+		if got.Prev[i] != ref.Prev[i] {
+			t.Fatalf("prev[%d] = %d, reference %d", i, got.Prev[i], ref.Prev[i])
+		}
+		wantHop := NodeID(-1)
+		if p := ref.PathTo(NodeID(i)); len(p) >= 2 {
+			wantHop = p[1]
+		}
+		if hop := got.NextHop(NodeID(i)); hop != wantHop {
+			t.Fatalf("next hop to %d = %d, reference %d", i, hop, wantHop)
+		}
+	}
+}
+
+// churn applies a burst of random link mutations: up/down flips, cost
+// changes, and occasionally a brand-new link pair.
+func churn(g *Graph, rng *sim.RNG) {
+	for k := 0; k < 12; k++ {
+		switch rng.Intn(4) {
+		case 0:
+			li := rng.Intn(g.Links())
+			g.SetUp(li, !g.Link(li).Up)
+		case 1, 2:
+			g.SetCost(rng.Intn(g.Links()), rng.Float64()*3)
+		case 3:
+			a := NodeID(rng.Intn(g.N()))
+			b := NodeID(rng.Intn(g.N()))
+			if a != b {
+				g.ConnectBoth(a, b, rng.Float64()*2)
+			}
+		}
+	}
+}
+
+func TestDijkstraMatchesReferenceUnderChurn(t *testing.T) {
+	rng := sim.NewRNG(123)
+	for trial := 0; trial < 6; trial++ {
+		var g *Graph
+		if trial%2 == 0 {
+			g = Waxman(40, 0.4, 0.3, rng)
+		} else {
+			g = RandomGeometric(40, 10, 2.5, rng)
+		}
+		if g.Links() == 0 {
+			g.ConnectBoth(0, 1, 1)
+		}
+		sc := &SPTScratch{}
+		spt := &SPT{}
+		for round := 0; round < 5; round++ {
+			churn(g, rng)
+			for s := 0; s < g.N(); s += 5 {
+				expectEqualSPT(t, g.ComputeInto(sc, spt, NodeID(s)), referenceDijkstra(g, NodeID(s)))
+				// The one-shot wrapper must agree too.
+				expectEqualSPT(t, g.Dijkstra(NodeID(s)), referenceDijkstra(g, NodeID(s)))
+			}
+		}
+	}
+}
+
+// TestDijkstraCostsMatchesReference checks the slice-overlay variant: a
+// reweighted run over g must equal the reference run over a clone whose
+// stored costs were rewritten, with +Inf entries behaving as down links.
+func TestDijkstraCostsMatchesReference(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 4; trial++ {
+		g := Waxman(30, 0.5, 0.3, rng)
+		if g.Links() == 0 {
+			g.ConnectBoth(0, 1, 1)
+		}
+		for k := 0; k < 5; k++ {
+			g.SetUp(rng.Intn(g.Links()), false)
+		}
+		costs := make([]float64, g.Links())
+		for li := range costs {
+			if !g.Link(li).Up {
+				costs[li] = math.Inf(1)
+				continue
+			}
+			costs[li] = rng.Float64() * 5
+		}
+		oracle := g.Clone()
+		for li := 0; li < oracle.Links(); li++ {
+			if oracle.Link(li).Up {
+				oracle.SetCost(li, costs[li])
+			}
+		}
+		for s := 0; s < g.N(); s++ {
+			expectEqualSPT(t, g.DijkstraCosts(NodeID(s), costs), referenceDijkstra(oracle, NodeID(s)))
+		}
+	}
+}
+
+// TestCostOverlayMatchesReferenceAndFreezes checks the CSR capture: the
+// overlay must equal the reference on an equivalently reweighted clone,
+// and — the property the lazy control plane rests on — computing from the
+// capture after further live-graph mutations must still reproduce the
+// capture-time tree, not the live one.
+func TestCostOverlayMatchesReferenceAndFreezes(t *testing.T) {
+	rng := sim.NewRNG(7)
+	g := Waxman(30, 0.5, 0.3, rng)
+	if g.Links() == 0 {
+		g.ConnectBoth(0, 1, 1)
+	}
+	for k := 0; k < 4; k++ {
+		g.SetUp(rng.Intn(g.Links()), false)
+	}
+	reweight := make([]float64, g.Links())
+	for li := range reweight {
+		reweight[li] = rng.Float64() * 5
+	}
+	var ov CostOverlay
+	g.CaptureInto(&ov, func(li int) float64 { return reweight[li] })
+	oracle := g.Clone()
+	for li := 0; li < oracle.Links(); li++ {
+		oracle.SetCost(li, reweight[li])
+	}
+	for s := 0; s < g.N(); s++ {
+		expectEqualSPT(t, ov.ComputeOverlayInto(nil, nil, NodeID(s)), referenceDijkstra(oracle, NodeID(s)))
+	}
+	// Mutate the live graph heavily; the capture must not move.
+	churn(g, rng)
+	for s := 0; s < g.N(); s += 3 {
+		expectEqualSPT(t, ov.ComputeOverlayInto(nil, nil, NodeID(s)), referenceDijkstra(oracle, NodeID(s)))
+	}
+}
+
+// TestComputeIntoAllocationFree pins the scratch-kernel contract: once
+// the tree and scratch have grown to the graph, repeated single-source
+// builds allocate nothing — the property every per-pulse recomputation
+// in the routing control plane relies on.
+func TestComputeIntoAllocationFree(t *testing.T) {
+	g := ConnectedWaxman(64, 0.4, 0.3, sim.NewRNG(5))
+	sc, spt := &SPTScratch{}, &SPT{}
+	g.ComputeInto(sc, spt, 0)
+	var ov CostOverlay
+	g.CaptureInto(&ov, func(li int) float64 { return g.Link(li).Cost })
+	if a := testing.AllocsPerRun(50, func() { g.ComputeInto(sc, spt, 3) }); a != 0 {
+		t.Fatalf("ComputeInto allocates %v per op", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { ov.ComputeOverlayInto(sc, spt, 5) }); a != 0 {
+		t.Fatalf("ComputeOverlayInto allocates %v per op", a)
+	}
+	if a := testing.AllocsPerRun(50, func() { g.CaptureInto(&ov, func(li int) float64 { return 1 }) }); a != 0 {
+		t.Fatalf("CaptureInto allocates %v per op", a)
+	}
+}
+
+// TestNextHopAllocationFree pins the forwarding-path lookup at 0
+// allocs/op — it used to reconstruct and reverse the full path per call,
+// once per hop per packet.
+func TestNextHopAllocationFree(t *testing.T) {
+	g := ConnectedWaxman(64, 0.4, 0.3, sim.NewRNG(6))
+	spt := g.Dijkstra(0)
+	dst := NodeID(g.N() - 1)
+	if spt.NextHop(dst) == -1 {
+		t.Fatal("expected a route in a connected graph")
+	}
+	if a := testing.AllocsPerRun(100, func() { spt.NextHop(dst) }); a != 0 {
+		t.Fatalf("NextHop allocates %v per op", a)
+	}
+}
+
+func TestBFSInto(t *testing.T) {
+	g := Ring(6)
+	var sc BFSScratch
+	edges := 0
+	if !g.BFSInto(&sc, 0, 3, func(from, to NodeID) { edges++ }) {
+		t.Fatal("ring should reach 3")
+	}
+	if edges == 0 {
+		t.Fatal("no edge callbacks")
+	}
+	// Predecessor chain walks back to the source.
+	hops := 0
+	for v := NodeID(3); v != 0; v = sc.Prev(v) {
+		hops++
+		if hops > g.N() {
+			t.Fatal("prev chain does not reach source")
+		}
+	}
+	if hops != 3 {
+		t.Fatalf("ring 0→3 took %d hops, want 3", hops)
+	}
+	// Exact flood accounting on a line: 0→1 discovers, 1→0 re-visits,
+	// 1→2 discovers the target; the flood stops there.
+	line := Line(3)
+	edges = 0
+	if !line.BFSInto(&sc, 0, 2, func(from, to NodeID) { edges++ }) {
+		t.Fatal("line should reach 2")
+	}
+	if edges != 3 {
+		t.Fatalf("line flood sent %d transmissions, want 3", edges)
+	}
+	// A partitioned target is not found.
+	p := New()
+	p.AddNodes(2)
+	if p.BFSInto(&sc, 0, 1, nil) {
+		t.Fatal("found across partition")
+	}
+	// Flood semantics: the source is never "discovered" as a target.
+	if g.BFSInto(&sc, 0, 0, nil) {
+		t.Fatal("src==dst should flood and report not found")
+	}
+}
+
+// TestVersionTracksLinkState pins the widened Version contract the pulse
+// gate depends on: adds, up/down flips and cost changes move it; no-op
+// writes do not.
+func TestVersionTracksLinkState(t *testing.T) {
+	g := Line(3)
+	v := g.Version()
+	g.SetUp(0, true) // already up: no-op
+	g.SetCost(0, g.Link(0).Cost)
+	if g.Version() != v {
+		t.Fatal("no-op writes must not move Version")
+	}
+	g.SetUp(0, false)
+	if g.Version() == v {
+		t.Fatal("SetUp change must move Version")
+	}
+	v = g.Version()
+	g.SetCost(1, 42)
+	if g.Version() == v {
+		t.Fatal("SetCost change must move Version")
+	}
+	v = g.Version()
+	g.Connect(0, 2, 1)
+	if g.Version() == v {
+		t.Fatal("Connect must move Version")
+	}
+	v = g.Version()
+	g.AddNode()
+	if g.Version() == v {
+		t.Fatal("AddNode must move Version")
+	}
+}

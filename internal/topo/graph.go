@@ -5,7 +5,6 @@
 package topo
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -30,7 +29,7 @@ type Graph struct {
 	adj     [][]int // per-node indexes into links
 	link    []Link
 	pos     []Point // optional geometry, used by geometric generators
-	version uint64  // bumped on every structural change (link added)
+	version uint64  // bumped on every topology change: node/link add, up/down, cost
 }
 
 // Point is a 2-D coordinate used by geometric topologies and mobility.
@@ -45,11 +44,14 @@ func (p Point) Dist(q Point) float64 {
 // New returns an empty graph.
 func New() *Graph { return &Graph{} }
 
-// AddNode appends a node and returns its identifier.
+// AddNode appends a node and returns its identifier. Like link changes,
+// growing the node set bumps Version — the routing pulse gate relies on
+// Version being a complete topology fingerprint.
 func (g *Graph) AddNode() NodeID {
 	g.adj = append(g.adj, nil)
 	g.pos = append(g.pos, Point{})
 	g.n++
+	g.version++
 	return NodeID(g.n - 1)
 }
 
@@ -84,10 +86,13 @@ func (g *Graph) Connect(from, to NodeID, cost float64) int {
 	return idx
 }
 
-// Version returns a counter that increases whenever the link set grows.
-// Per-link caches (netsim's state table, routing tables) compare it against
-// a remembered value to decide whether to resynchronize, instead of
-// re-scanning on every packet.
+// Version returns a counter that increases whenever the topology
+// changes: a node or link is added, a link is brought up or down, or a
+// link's cost moves.
+// Per-link caches (netsim's state table) and the routing control plane's
+// pulse gate compare it against a remembered value to decide whether to
+// resynchronize or recompute, instead of re-scanning on every packet or
+// re-running all-pairs Dijkstra on every pulse.
 func (g *Graph) Version() uint64 { return g.version }
 
 // ConnectBoth adds links in both directions with equal cost and returns
@@ -103,10 +108,21 @@ func (g *Graph) Links() int { return len(g.link) }
 func (g *Graph) Link(i int) Link { return g.link[i] }
 
 // SetUp marks link i up or down. Down links are invisible to routing.
-func (g *Graph) SetUp(i int, up bool) { g.link[i].Up = up }
+// An actual state change bumps Version.
+func (g *Graph) SetUp(i int, up bool) {
+	if g.link[i].Up != up {
+		g.link[i].Up = up
+		g.version++
+	}
+}
 
-// SetCost updates link i's routing cost.
-func (g *Graph) SetCost(i int, c float64) { g.link[i].Cost = c }
+// SetCost updates link i's routing cost. An actual change bumps Version.
+func (g *Graph) SetCost(i int, c float64) {
+	if g.link[i].Cost != c {
+		g.link[i].Cost = c
+		g.version++
+	}
+}
 
 // Neighbors returns the IDs reachable from id over up links, in link
 // insertion order (deterministic).
@@ -152,61 +168,314 @@ func (g *Graph) Degree(id NodeID) int {
 	return d
 }
 
-// spItem is a priority queue element for Dijkstra.
+// spItem is a priority-queue element for Dijkstra: a (node, tentative
+// distance) pair. The queue uses lazy deletion — a node may be pushed
+// several times and every pop after its first (cheapest) one is ignored.
 type spItem struct {
 	node NodeID
 	dist float64
 }
 
-type spHeap []spItem
+// spPush and spPop implement a binary min-heap on a plain slice with
+// exactly the sift semantics of container/heap (strict less; the right
+// child is preferred only when strictly smaller), so the pop order — and
+// with it the tie-break between equal-cost paths — is identical to the
+// boxed container/heap implementation this replaced, while pushing a
+// value costs zero allocations instead of one interface boxing each.
+// Both sift with a hole instead of pairwise swaps: the moving element is
+// held in a register and each path position receives its child (push:
+// parent) directly. The comparison sequence — and therefore the final
+// array — is the same as swap-based sifting, at half the memory writes.
+func spPush(h []spItem, it spItem) []spItem {
+	h = append(h, it)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(it.dist < h[i].dist) {
+			break
+		}
+		h[j] = h[i]
+		j = i
+	}
+	h[j] = it
+	return h
+}
 
-func (h spHeap) Len() int           { return len(h) }
-func (h spHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
-func (h spHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *spHeap) Push(x any)        { *h = append(*h, x.(spItem)) }
-func (h *spHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func spPop(h []spItem) ([]spItem, spItem) {
+	top := h[0]
+	n := len(h) - 1
+	x := h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h[r].dist < h[l].dist {
+			j = r
+		}
+		if !(h[j].dist < x.dist) {
+			break
+		}
+		h[i] = h[j]
+		i = j
+	}
+	if n > 0 {
+		h[i] = x
+	}
+	return h, top
+}
 
 // SPT holds a single-source shortest path tree.
 type SPT struct {
 	Source NodeID
 	Dist   []float64 // +Inf when unreachable
 	Prev   []NodeID  // -1 at source / unreachable
+	next   []NodeID  // first hop toward each node; -1 at source / unreachable
+}
+
+// SPTScratch is the reusable working memory of a shortest-path
+// computation: the priority queue and the settled set. One scratch serves
+// any number of sequential ComputeInto calls over graphs of any size; it
+// is not safe for concurrent use — parallel callers hold one scratch each.
+type SPTScratch struct {
+	heap []spItem
+	done []bool
+}
+
+// resize returns s with length n, reusing its backing array when large
+// enough. Contents are unspecified — callers reinitialize.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // Dijkstra computes shortest paths from src over up links using Cost as
-// the metric. Negative costs panic.
+// the metric. Negative costs panic. It allocates a fresh tree; hot
+// callers retain an SPTScratch and an SPT and use ComputeInto instead.
 func (g *Graph) Dijkstra(src NodeID) *SPT {
-	t := &SPT{Source: src, Dist: make([]float64, g.n), Prev: make([]NodeID, g.n)}
-	for i := range t.Dist {
+	return g.computeInto(nil, nil, src, nil, false)
+}
+
+// DijkstraCosts computes shortest paths from src under a cost overlay:
+// link i costs costs[i] regardless of its stored Cost, +Inf marks a link
+// unusable, and links with index >= len(costs) (created after the overlay
+// was captured) are ignored. Live Up flags are deliberately not consulted
+// — the costs slice is the complete link-state snapshot, which lets a
+// control plane freeze its routing inputs at one instant and compute
+// tables from them later (or on other goroutines) without cloning the
+// graph.
+func (g *Graph) DijkstraCosts(src NodeID, costs []float64) *SPT {
+	return g.computeInto(nil, nil, src, costs, true)
+}
+
+// ComputeInto is Dijkstra with caller-owned memory: the tree is built
+// into t reusing its slices, and sc's buffers hold the working state.
+// Once both have grown to the graph size, repeated computations are
+// allocation-free. Either may be nil, in which case it is allocated.
+// It returns t for convenience.
+func (g *Graph) ComputeInto(sc *SPTScratch, t *SPT, src NodeID) *SPT {
+	return g.computeInto(sc, t, src, nil, false)
+}
+
+// ComputeCostsInto is DijkstraCosts with caller-owned memory, with the
+// same reuse contract as ComputeInto.
+func (g *Graph) ComputeCostsInto(sc *SPTScratch, t *SPT, src NodeID, costs []float64) *SPT {
+	return g.computeInto(sc, t, src, costs, true)
+}
+
+// CostOverlay is a frozen, routing-ready view of a graph: the up links
+// at one instant, laid out as a compressed adjacency (CSR) with blended
+// per-link costs. Capturing one is O(links) and reuses the overlay's
+// backing arrays; computing shortest paths from it never touches the
+// live graph, so a control plane can capture at pulse time and build
+// tables lazily — or on worker goroutines — later, with results
+// identical to running Dijkstra at capture time. The flat layout also
+// makes the relaxation loop two sequential array reads per edge instead
+// of three dependent random loads (adjacency slice → link record → cost
+// table), which is where an all-pairs rebuild spends its time.
+type CostOverlay struct {
+	n     int
+	start []int32 // edge range of node u is [start[u], start[u+1])
+	to    []NodeID
+	cost  []float64
+}
+
+// N returns the node count at capture time.
+func (o *CostOverlay) N() int { return o.n }
+
+// CaptureInto (re)builds o from g's current up links, pricing link li at
+// costOf(li). Negative costs panic here, at capture time — the same
+// pulse-step timing at which the pre-overlay design ran Dijkstra and
+// panicked. Down links are excluded entirely.
+func (g *Graph) CaptureInto(o *CostOverlay, costOf func(li int) float64) {
+	n := g.n
+	o.n = n
+	o.start = resize(o.start, n+1)
+	o.to = o.to[:0]
+	o.cost = o.cost[:0]
+	for u := 0; u < n; u++ {
+		o.start[u] = int32(len(o.to))
+		for _, li := range g.adj[u] {
+			l := &g.link[li]
+			if !l.Up {
+				continue
+			}
+			c := costOf(li)
+			if c < 0 {
+				panic("topo: negative link cost")
+			}
+			o.to = append(o.to, l.To)
+			o.cost = append(o.cost, c)
+		}
+	}
+	o.start[n] = int32(len(o.to))
+}
+
+// ComputeOverlayInto computes the shortest-path tree from src over a
+// captured CostOverlay, with the same memory-reuse contract as
+// ComputeInto. The live graph is not consulted: topology and costs are
+// exactly as captured. Relaxation order equals capture-time adjacency
+// order, so the tree — including every equal-cost tie-break — is
+// identical to Dijkstra run at capture time.
+func (o *CostOverlay) ComputeOverlayInto(sc *SPTScratch, t *SPT, src NodeID) *SPT {
+	if sc == nil {
+		sc = &SPTScratch{}
+	}
+	if t == nil {
+		t = &SPT{}
+	}
+	n := o.n
+	t.Source = src
+	t.Dist = resize(t.Dist, n)
+	t.Prev = resize(t.Prev, n)
+	t.next = resize(t.next, n)
+	for i := 0; i < n; i++ {
 		t.Dist[i] = math.Inf(1)
 		t.Prev[i] = -1
+		t.next[i] = -1
 	}
-	t.Dist[src] = 0
-	h := &spHeap{{src, 0}}
-	done := make([]bool, g.n)
-	for h.Len() > 0 {
-		it := heap.Pop(h).(spItem)
+	sc.done = resize(sc.done, n)
+	for i := range sc.done {
+		sc.done[i] = false
+	}
+	dist, prev, next := t.Dist, t.Prev, t.next
+	done, start, tos, costs := sc.done, o.start, o.to, o.cost
+	h := sc.heap[:0]
+	dist[src] = 0
+	h = spPush(h, spItem{src, 0})
+	for len(h) > 0 {
+		var it spItem
+		h, it = spPop(h)
 		u := it.node
 		if done[u] {
 			continue
 		}
 		done[u] = true
-		for _, li := range g.adj[u] {
-			l := g.link[li]
-			if !l.Up {
-				continue
+		if u != src {
+			if p := prev[u]; p == src {
+				next[u] = u
+			} else {
+				next[u] = next[p]
 			}
-			if l.Cost < 0 {
-				panic("topo: negative link cost")
-			}
-			nd := t.Dist[u] + l.Cost
-			if nd < t.Dist[l.To] {
-				t.Dist[l.To] = nd
-				t.Prev[l.To] = u
-				heap.Push(h, spItem{l.To, nd})
+		}
+		du := dist[u]
+		for e, end := start[u], start[u+1]; e < end; e++ {
+			to := tos[e]
+			nd := du + costs[e]
+			if nd < dist[to] {
+				dist[to] = nd
+				prev[to] = u
+				h = spPush(h, spItem{to, nd})
 			}
 		}
 	}
+	sc.heap = h
+	return t
+}
+
+func (g *Graph) computeInto(sc *SPTScratch, t *SPT, src NodeID, costs []float64, useCosts bool) *SPT {
+	if sc == nil {
+		sc = &SPTScratch{}
+	}
+	if t == nil {
+		t = &SPT{}
+	}
+	n := g.n
+	t.Source = src
+	t.Dist = resize(t.Dist, n)
+	t.Prev = resize(t.Prev, n)
+	t.next = resize(t.next, n)
+	for i := 0; i < n; i++ {
+		t.Dist[i] = math.Inf(1)
+		t.Prev[i] = -1
+		t.next[i] = -1
+	}
+	sc.done = resize(sc.done, n)
+	for i := range sc.done {
+		sc.done[i] = false
+	}
+	// Hoist every slice the relaxation loop touches into locals so the
+	// compiler keeps them in registers across iterations.
+	dist, prev, next := t.Dist, t.Prev, t.next
+	done, links := sc.done, g.link
+	inf := math.Inf(1)
+	h := sc.heap[:0]
+	dist[src] = 0
+	h = spPush(h, spItem{src, 0})
+	for len(h) > 0 {
+		var it spItem
+		h, it = spPop(h)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		// Settle-time next-hop fill: u's predecessor settled before u did
+		// and Prev[u] is final here, so the first hop toward u is an O(1)
+		// read off the predecessor's entry. This is what makes SPT.NextHop
+		// an array lookup instead of a path reconstruction.
+		if u != src {
+			if p := prev[u]; p == src {
+				next[u] = u
+			} else {
+				next[u] = next[p]
+			}
+		}
+		du := dist[u]
+		for _, li := range g.adj[u] {
+			var c float64
+			if useCosts {
+				if li >= len(costs) {
+					continue // link added after the overlay was captured
+				}
+				c = costs[li]
+				if c == inf {
+					continue // down at capture time
+				}
+			} else {
+				if !links[li].Up {
+					continue
+				}
+				c = links[li].Cost
+			}
+			if c < 0 {
+				panic("topo: negative link cost")
+			}
+			to := links[li].To
+			nd := du + c
+			if nd < dist[to] {
+				dist[to] = nd
+				prev[to] = u
+				h = spPush(h, spItem{to, nd})
+			}
+		}
+	}
+	sc.heap = h
 	return t
 }
 
@@ -225,13 +494,24 @@ func (t *SPT) PathTo(dst NodeID) []NodeID {
 	return rev
 }
 
-// NextHop returns the first hop on the path source→dst, or -1.
+// NextHop returns the first hop on the path source→dst, or -1 when dst
+// is the source or unreachable. The hop table is filled at settle time
+// during the Dijkstra run, so this is an O(1) array read on the
+// forwarding hot path (it used to reconstruct and reverse the full path
+// per call — once per hop per packet).
 func (t *SPT) NextHop(dst NodeID) NodeID {
-	p := t.PathTo(dst)
-	if len(p) < 2 {
+	if t.next != nil {
+		return t.next[dst]
+	}
+	// Hand-assembled trees have no hop table; walk the predecessor chain.
+	if math.IsInf(t.Dist[dst], 1) || dst == t.Source {
 		return -1
 	}
-	return p[1]
+	hop := dst
+	for t.Prev[hop] != t.Source {
+		hop = t.Prev[hop]
+	}
+	return hop
 }
 
 // Reachable returns the set of nodes reachable from src over up links
@@ -341,4 +621,71 @@ func (g *Graph) AllLinks(id NodeID) []int {
 	out := make([]int, len(g.adj[id]))
 	copy(out, g.adj[id])
 	return out
+}
+
+// AdjLinks returns the indexes of every link leaving id — up or down, in
+// insertion order — as a direct view of the graph's adjacency storage.
+// The caller must not modify or retain it across mutations. Unlike
+// OutLinks and Neighbors it allocates nothing, which makes it the
+// iteration primitive for routing kernels.
+func (g *Graph) AdjLinks(id NodeID) []int { return g.adj[id] }
+
+// BFSScratch is the reusable working memory of a breadth-first search:
+// the predecessor table, the visited set and the queue. Like SPTScratch
+// it is not safe for concurrent use.
+type BFSScratch struct {
+	prev  []NodeID
+	seen  []bool
+	queue []NodeID
+}
+
+// Prev returns v's predecessor from the latest BFSInto run on this
+// scratch (-1 at the source and for undiscovered nodes).
+func (sc *BFSScratch) Prev(v NodeID) NodeID { return sc.prev[v] }
+
+// BFSInto runs a breadth-first flood from src over up links into the
+// scratch's predecessor table, stopping at the step that discovers dst,
+// and reports whether dst was discovered. onEdge, when non-nil, is called
+// once per link traversal attempt in deterministic link-insertion order —
+// including arrivals at already-visited nodes — mirroring one radio
+// transmission per flood edge (AODV's control-message accounting).
+// Note that src itself is never "discovered": a search for src==dst
+// floods the whole component and reports false, exactly like a route
+// request whose target is the requester.
+func (g *Graph) BFSInto(sc *BFSScratch, src, dst NodeID, onEdge func(from, to NodeID)) bool {
+	n := g.n
+	sc.prev = resize(sc.prev, n)
+	sc.seen = resize(sc.seen, n)
+	for i := 0; i < n; i++ {
+		sc.prev[i] = -1
+		sc.seen[i] = false
+	}
+	q := sc.queue[:0]
+	sc.seen[src] = true
+	q = append(q, src)
+	found := false
+	for head := 0; head < len(q) && !found; head++ {
+		u := q[head]
+		for _, li := range g.adj[u] {
+			if !g.link[li].Up {
+				continue
+			}
+			v := g.link[li].To
+			if onEdge != nil {
+				onEdge(u, v)
+			}
+			if sc.seen[v] {
+				continue
+			}
+			sc.seen[v] = true
+			sc.prev[v] = u
+			if v == dst {
+				found = true
+				break
+			}
+			q = append(q, v)
+		}
+	}
+	sc.queue = q[:0]
+	return found
 }

@@ -202,7 +202,18 @@ func (n *Network) receive(at topo.NodeID, pkt *netsim.Packet) {
 	}
 	overlay := strings.TrimPrefix(pkt.Class, "shuttle:")
 	next := n.Router.NextHop(overlay, at, pkt.Dst)
-	if next == -1 || !n.Net.Send(at, next, pkt) {
+	if next == -1 {
+		// No route from here: the transport never sees this failure, so
+		// finalize the packet explicitly — otherwise shuttle-level and
+		// packet-level accounting drift apart (the shuttle was lost but
+		// the packet was neither delivered nor counted dropped).
+		n.Net.Drop(pkt)
+		n.LostShuttles++
+		return
+	}
+	if !n.Net.Send(at, next, pkt) {
+		// Send recorded the specific transport drop (no link / queue
+		// overflow / RED); only the shuttle-level tally is ours.
 		n.LostShuttles++
 	}
 }
@@ -354,6 +365,11 @@ func (n *Network) Snapshot() *Snapshot {
 	return sn
 }
 
+// snapshotBarMax caps the role-histogram bars in Snapshot.String so
+// thousand-ship snapshots stay readable (and CI logs stay short); the
+// exact count is printed next to the bar either way.
+const snapshotBarMax = 60
+
 // String renders the snapshot as one line per role plus totals.
 func (sn *Snapshot) String() string {
 	var kinds []roles.Kind
@@ -365,7 +381,11 @@ func (sn *Snapshot) String() string {
 	fmt.Fprintf(&b, "t=%.1f alive=%d excluded=%d clusters=%d entropy=%.2f overlays=%d\n",
 		sn.Time, sn.Alive, sn.Excluded, sn.Clusters, sn.RoleEntropy, len(sn.Overlays))
 	for _, k := range kinds {
-		fmt.Fprintf(&b, "  %-16s %s (%d)\n", k, strings.Repeat("#", sn.RoleCounts[k]), sn.RoleCounts[k])
+		bar := sn.RoleCounts[k]
+		if bar > snapshotBarMax {
+			bar = snapshotBarMax
+		}
+		fmt.Fprintf(&b, "  %-16s %s (%d)\n", k, strings.Repeat("#", bar), sn.RoleCounts[k])
 	}
 	return b.String()
 }

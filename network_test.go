@@ -163,3 +163,56 @@ func TestRoleCoverageIgnoresDead(t *testing.T) {
 		t.Fatalf("coverage = %v", cov)
 	}
 }
+
+// TestFailedForwardAccounting is the regression test for the mid-path
+// accounting gap: a shuttle whose forward fails at an intermediate hop
+// bumped LostShuttles, but the packet was never finalized in netsim, so
+// packet-level delivered/dropped tallies no longer summed to the packets
+// injected. The routeless drop is now recorded via Net.Drop.
+func TestFailedForwardAccounting(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	cfg.Graph = topo.Line(3)
+	n := NewNetwork(cfg)
+	sh := n.NewShuttle(shuttle.Data, 0, 2)
+	if !n.SendShuttle(sh, "") {
+		t.Fatal("send failed")
+	}
+	// While the packet is still on the 0→1 link, the 1→2 hop dies and a
+	// pulse re-routes; at ship 1 the shuttle has nowhere to go.
+	n.K.At(0.0005, func() {
+		n.G.SetUp(n.G.FindLink(1, 2), false)
+		n.G.SetUp(n.G.FindLink(2, 1), false)
+		n.Router.Pulse()
+	})
+	n.Run(5)
+	if n.DeliveredShuttles != 0 || n.LostShuttles != 1 {
+		t.Fatalf("delivered=%d lost=%d, want 0/1", n.DeliveredShuttles, n.LostShuttles)
+	}
+	if n.Net.DroppedRoute != 1 {
+		t.Fatalf("DroppedRoute = %d, want 1", n.Net.DroppedRoute)
+	}
+	// Shuttle-level and packet-level accounting reconcile: the single
+	// injected packet was finalized in exactly one bucket.
+	finalized := n.Net.C.Get("e2e.delivered") + n.Net.C.Get("drop.noroute") +
+		n.Net.C.Get("drop.queue") + n.Net.C.Get("drop.red") +
+		n.Net.C.Get("drop.loss") + n.Net.C.Get("drop.ttl") + n.Net.C.Get("send.nolink")
+	if finalized != 1 {
+		t.Fatalf("finalized packets = %v, want 1", finalized)
+	}
+}
+
+// TestSnapshotBarCapped keeps thousand-ship snapshots printable: the role
+// bars saturate at snapshotBarMax while the printed counts stay exact.
+func TestSnapshotBarCapped(t *testing.T) {
+	sn := &Snapshot{RoleCounts: map[roles.Kind]int{roles.Caching: 500, roles.Boosting: 3}}
+	out := sn.String()
+	if strings.Contains(out, strings.Repeat("#", snapshotBarMax+1)) {
+		t.Fatal("role bar exceeds cap")
+	}
+	if !strings.Contains(out, "(500)") || !strings.Contains(out, "(3)") {
+		t.Fatalf("exact counts missing:\n%s", out)
+	}
+	if !strings.Contains(out, strings.Repeat("#", 3)+" (3)") {
+		t.Fatalf("small bars must stay exact:\n%s", out)
+	}
+}
