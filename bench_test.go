@@ -204,6 +204,23 @@ func BenchmarkAdaptiveNextHop(b *testing.B) {
 	benchprobe.AdaptiveNextHop(42)(b)
 }
 
+// BenchmarkConnectivity{Oracle,Grid,Incremental} measure the radio-range
+// refresh at S1 scale (1000 mobile ships, radius 75) in its three forms:
+// the brute-force O(n²) oracle, the spatial-hash grid path (same flap
+// semantics), and the incremental diff path the simulation loop runs
+// (0 allocs/op in steady state). All three replay the same fixed frame
+// cycle, so the numbers are directly comparable. Bodies are shared with
+// `viatorbench -bench-mobility` via internal/benchprobe.
+func BenchmarkConnectivityOracle(b *testing.B)      { benchprobe.ConnectivityOracle(42)(b) }
+func BenchmarkConnectivityGrid(b *testing.B)        { benchprobe.ConnectivityGrid(42)(b) }
+func BenchmarkConnectivityIncremental(b *testing.B) { benchprobe.ConnectivityIncremental(42)(b) }
+
+// BenchmarkMobilityStep measures pure position advancement for the
+// 1000-ship fleet — the physical layer's per-refresh floor.
+func BenchmarkMobilityStep(b *testing.B) {
+	benchprobe.MobilityStep(42)(b)
+}
+
 func BenchmarkRoleFusionPipeline(b *testing.B) {
 	f := roles.NewFuser(4, 0.25)
 	c := roles.Chunk{Stream: "s", Bytes: 1000}

@@ -12,13 +12,17 @@
 // by CI) instead of tables. -bench-routing does the same for the adaptive
 // control plane — gated pulse, lazy sparse cycle, eager parallel rebuild
 // and the warm-table next-hop lookup at S1 scale — emitting the
-// BENCH_routing.json artifact.
+// BENCH_routing.json artifact. -bench-mobility covers the physical
+// layer — the brute-force, spatial-hash and incremental connectivity
+// refreshes plus pure mobility stepping at 1000 ships — emitting
+// BENCH_mobility.json.
 //
 // Usage:
 //
 //	viatorbench [-seed N] [-reps N] [-workers K] [-csv|-json] [-only E5,E11] [-ablations] [-stress] [-list]
 //	viatorbench -bench
 //	viatorbench -bench-routing
+//	viatorbench -bench-mobility
 package main
 
 import (
@@ -46,6 +50,7 @@ func main() {
 	list := flag.Bool("list", false, "list registered experiment ids and exit")
 	bench := flag.Bool("bench", false, "run the substrate micro-benchmark suite and emit JSON (BENCH_kernel.json)")
 	benchRouting := flag.Bool("bench-routing", false, "run the routing control-plane benchmark suite and emit JSON (BENCH_routing.json)")
+	benchMobility := flag.Bool("bench-mobility", false, "run the physical-layer benchmark suite and emit JSON (BENCH_mobility.json)")
 	flag.Parse()
 
 	if *bench {
@@ -54,6 +59,10 @@ func main() {
 	}
 	if *benchRouting {
 		runBenchRouting(*seed)
+		return
+	}
+	if *benchMobility {
+		runBenchMobility(*seed)
 		return
 	}
 
@@ -210,5 +219,28 @@ func runBenchRouting(seed uint64) {
 		record("routing.pulse_lazy_sparse", benchprobe.AdaptivePulseLazySparse(seed)),
 		record("routing.pulse_rebuild", benchprobe.AdaptivePulseRebuild(seed)),
 		record("routing.next_hop", benchprobe.AdaptiveNextHop(seed)),
+	})
+}
+
+// runBenchMobility executes the physical-layer benchmark suite
+// (BENCH_mobility.json): the brute-force O(n²) connectivity oracle, the
+// spatial-hash grid refresh, the incremental diff refresh the simulation
+// loop runs, and pure mobility stepping — all at S1 scale (1000 mobile
+// ships, radius 75) — plus one full end-to-end S2 megalopolis run (10k
+// ships), the scenario the refactor exists to make runnable. Refresh and
+// stepping bodies are shared with `go test -bench
+// 'Connectivity|MobilityStep'` via internal/benchprobe.
+func runBenchMobility(seed uint64) {
+	emitBench("viatorbench -bench-mobility", seed, []benchResult{
+		record("mobility.connectivity_oracle", benchprobe.ConnectivityOracle(seed)),
+		record("mobility.connectivity_grid", benchprobe.ConnectivityGrid(seed)),
+		record("mobility.connectivity_incremental", benchprobe.ConnectivityIncremental(seed)),
+		record("mobility.step", benchprobe.MobilityStep(seed)),
+		record("s2.megalopolis_run", func(b *testing.B) {
+			benchprobe.Replicated(b, func() error {
+				_, err := viator.RunReplicated([]string{"S2"}, 1, seed, 1)
+				return err
+			})
+		}),
 	})
 }

@@ -26,21 +26,25 @@ func main() {
 
 	g := topo.New()
 	g.AddNodes(ships)
-	mobility.Connectivity(g, model.Positions(), radius)
+	// The incremental refresh reports the up-link count, so the loop
+	// never rescans the link table to observe connectivity.
+	var conn mobility.ConnScratch
+	conn.RefreshInto(g, model.Positions(), radius)
 	router := routing.NewAODV(g)
 
 	// Drive 60 seconds of mobility in 1 s steps; each step refreshes the
 	// radio connectivity and routes a QoS flow 0 → 19.
-	okSteps, partitioned := 0, 0
+	okSteps, partitioned, upSum := 0, 0, 0
 	for step := 0; step < 60; step++ {
-		mobility.Connectivity(g, model.Step(1), radius)
+		upSum += conn.RefreshInto(g, model.Step(1), radius)
 		if path := router.Route(0, ships-1); path != nil {
 			okSteps++
 		} else {
 			partitioned++
 		}
 	}
-	fmt.Printf("mobile ad-hoc run: %d/60 steps routable, %d partitioned\n", okSteps, partitioned)
+	fmt.Printf("mobile ad-hoc run: %d/60 steps routable, %d partitioned, mean %d links up\n",
+		okSteps, partitioned, upSum/60)
 	fmt.Printf("route discoveries: %d (control msgs %d), cache hits: %d\n",
 		router.Discoveries, router.ControlMsgs, router.CacheHits)
 

@@ -64,9 +64,9 @@ func RunS1(seed uint64) *S1Result {
 
 	const arena, radius = 1000.0, 75.0
 	model := mobility.NewRandomWaypoint(s1Ships, arena, 2, 10, 1, n.K.Rand.Split())
-	mobility.Connectivity(n.G, model.Positions(), radius)
-	n.Router.Pulse()
 	mob := n.EnableMobility(model, radius, 2.5)
+	mob.RefreshNow()
+	n.Router.Pulse()
 	n.StartPulses(2.0)
 	healer := n.EnableSelfHealing(1.0)
 
@@ -101,7 +101,7 @@ func RunS1(seed uint64) *S1Result {
 			res.Rows = append(res.Rows, S1Row{
 				T:          t,
 				AliveFrac:  n.AliveFraction(),
-				LinksUp:    countUp(n),
+				LinksUp:    mob.LinksUp,
 				Delivered:  n.DeliveredShuttles,
 				Lost:       n.LostShuttles,
 				Repairs:    healer.Repairs,

@@ -1,0 +1,147 @@
+package viator
+
+import (
+	"viator/internal/metamorph"
+	"viator/internal/mobility"
+	"viator/internal/roles"
+	"viator/internal/ship"
+	"viator/internal/shuttle"
+	"viator/internal/stats"
+	"viator/internal/topo"
+)
+
+// S2 is the "megalopolis" stress scenario: ten thousand mobile ships —
+// an order of magnitude past S1 — living on radio-range connectivity in
+// a city-region arena, with the same full dynamic stack armed at once:
+// random-waypoint mobility continuously rewires the topology, pulses
+// re-adapt routing and sweep knowledge, churn kills ships faster than
+// the healer's repair budget, role jets spread from four districts, and
+// background district traffic keeps shuttles flowing.
+//
+// S2 exists because of the physical-layer refactor: at 10k ships a
+// brute-force O(n²) connectivity refresh tests ~50M pairs per refresh
+// and dominates the run; the spatial-hash incremental refresh visits
+// only each ship's grid neighborhood (O(n·k)) and diffs against the
+// previous neighbor sets, which is what makes this scenario runnable
+// at all.
+// Traffic is deliberately district-local (destinations within radio
+// neighborhoods a few hops out) — a metropolis's traffic matrix, and
+// the regime the lazy per-source routing tables are built for.
+
+// s2Ships is the megalopolis fleet size.
+const s2Ships = 10000
+
+// s2Arena keeps the S1 radio-mesh density (~17 directed neighbors per
+// ship at radius 75) over ten times the ships: 10× the area.
+const s2Arena = 3200.0
+
+// s2Radius is the radio range, matching S1's.
+const s2Radius = 75.0
+
+// s2Horizon is the simulated duration in seconds.
+const s2Horizon = 5.0
+
+// s2District bounds how far (in arena distance) a background shuttle's
+// destination may be from its source — district traffic, a few radio
+// hops out.
+const s2District = 400.0
+
+// S2Row is one checkpoint of the megalopolis run.
+type S2Row struct {
+	T          float64
+	AliveFrac  float64 // fleet slots currently alive
+	LinksUp    int     // directed radio links up at the checkpoint
+	Delivered  uint64  // shuttles docked so far
+	Lost       uint64  // shuttles lost so far (no route, drop, dead dock)
+	Repairs    uint64  // self-healing resurrections so far
+	Partitions uint64  // connectivity refreshes that left the fleet split
+	Entropy    float64 // role differentiation across the alive fleet
+}
+
+// S2Result is the megalopolis trajectory.
+type S2Result struct {
+	Rows []S2Row
+}
+
+// RunS2 executes the megalopolis scenario for one seed.
+func RunS2(seed uint64) *S2Result {
+	cfg := DefaultConfig(s2Ships, seed)
+	g := topo.New()
+	g.AddNodes(s2Ships)
+	cfg.Graph = g
+	n := NewNetwork(cfg)
+
+	model := mobility.NewRandomWaypoint(s2Ships, s2Arena, 2, 10, 1, n.K.Rand.Split())
+	mob := n.EnableMobility(model, s2Radius, 2.5)
+	mob.RefreshNow()
+	n.Router.Pulse()
+	n.StartPulses(2.0)
+	healer := n.EnableSelfHealing(1.0)
+
+	// Role deployment: epidemic jets seed functional differentiation
+	// from four districts of the megalopolis.
+	for i, k := range []roles.Kind{roles.Caching, roles.Boosting, roles.Fusion, roles.Propagation} {
+		n.InjectJet(i*(s2Ships/4), k, 3)
+	}
+
+	// Churn: twenty random casualties per second — an order more than the
+	// healer's two-repairs-per-pulse budget, so the repair loop runs
+	// saturated for the whole horizon.
+	rng := n.K.Rand.Split()
+	n.K.Every(0.05, func() {
+		i := rng.Intn(s2Ships)
+		if n.Ships[i].State() == ship.Alive {
+			n.Ships[i].Kill()
+		}
+	})
+
+	// Background district traffic: 25 shuttles per second between pairs
+	// no farther than s2District apart. A district partner is found by
+	// rejection sampling — ~5% of the fleet qualifies, so 64 tries land
+	// a partner for ~96% of slots; a source with no nearby partner after
+	// that skips its slot.
+	n.K.Every(0.04, func() {
+		src := rng.Intn(s2Ships)
+		pos := model.Positions()
+		for try := 0; try < 64; try++ {
+			dst := rng.Intn(s2Ships)
+			if dst == src || pos[src].Dist(pos[dst]) > s2District {
+				continue
+			}
+			n.SendShuttle(n.NewShuttle(shuttle.Data, src, dst), "")
+			break
+		}
+	})
+
+	res := &S2Result{}
+	for t := 1.0; t <= s2Horizon; t += 1.0 {
+		t := t
+		n.K.At(t, func() {
+			res.Rows = append(res.Rows, S2Row{
+				T:          t,
+				AliveFrac:  n.AliveFraction(),
+				LinksUp:    mob.LinksUp,
+				Delivered:  n.DeliveredShuttles,
+				Lost:       n.LostShuttles,
+				Repairs:    healer.Repairs,
+				Partitions: mob.Partitions,
+				Entropy:    metamorph.RoleEntropy(n.Ships),
+			})
+		})
+	}
+	n.Run(s2Horizon)
+	n.StopPulses()
+	return res
+}
+
+// Table renders the megalopolis trajectory.
+func (r *S2Result) Table() *stats.Table {
+	t := stats.NewTable("S2 — megalopolis: 10,000 mobile ships, district traffic, churn + self-healing",
+		"t (s)", "alive frac", "links up", "delivered", "lost", "repairs", "partitions", "role entropy")
+	for _, row := range r.Rows {
+		t.AddRow(row.T, row.AliveFrac, row.LinksUp,
+			float64(row.Delivered), float64(row.Lost),
+			float64(row.Repairs), float64(row.Partitions), row.Entropy)
+	}
+	return t
+}

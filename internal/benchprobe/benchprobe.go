@@ -7,6 +7,7 @@ package benchprobe
 import (
 	"testing"
 
+	"viator/internal/mobility"
 	"viator/internal/netsim"
 	"viator/internal/routing"
 	"viator/internal/sim"
@@ -155,6 +156,107 @@ func AdaptivePulseRebuild(seed uint64) func(b *testing.B) {
 			r.ObserveUtilization(i%g.Links(), float64(i%7)/8)
 			r.Pulse()
 			r.Rebuild()
+		}
+	}
+}
+
+// --- physical-layer benchmarks (BENCH_mobility.json) ---
+
+// physicalModel builds the S1-scale mobility workload: 1000 random-
+// waypoint ships on a 1000×1000 arena — the metropolis fleet whose
+// radio-range refresh the spatial-hash work is measured against.
+func physicalModel(seed uint64) *mobility.RandomWaypoint {
+	return mobility.NewRandomWaypoint(1000, 1000, 2, 10, 1, sim.NewRNG(seed))
+}
+
+// physicalRadius is the radio range matching the S1 scenario.
+const physicalRadius = 75.0
+
+// physicalFrames precomputes one fixed cycle of fleet positions: the
+// model is advanced into its long-run (center-biased) regime, then 256
+// consecutive 0.1 s frames are recorded. Every connectivity benchmark
+// replays this same cycle, so the three variants measure the identical
+// refresh workload, and per-op work does not drift with the iteration
+// count the harness picks.
+func physicalFrames(seed uint64) [][]topo.Point {
+	m := physicalModel(seed)
+	m.Step(60)
+	frames := make([][]topo.Point, 256)
+	for f := range frames {
+		frames[f] = append([]topo.Point(nil), m.Step(0.1)...)
+	}
+	return frames
+}
+
+// ConnectivityOracle measures the brute-force O(n²) refresh — all
+// n(n-1)/2 pair tests, a full link flap, linear-scan link reuse — the
+// pre-refactor physical layer, kept as the baseline the grid and
+// incremental paths are compared against.
+func ConnectivityOracle(seed uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		frames := physicalFrames(seed)
+		g := topo.New()
+		g.AddNodes(len(frames[0]))
+		mobility.Connectivity(g, frames[len(frames)-1], physicalRadius)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mobility.Connectivity(g, frames[i%len(frames)], physicalRadius)
+		}
+	}
+}
+
+// ConnectivityGrid measures the spatial-hash refresh with the oracle's
+// flap semantics: candidates from the grid neighborhood (O(n·k)) instead
+// of all pairs, every link still cycled down/up.
+func ConnectivityGrid(seed uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		frames := physicalFrames(seed)
+		g := topo.New()
+		g.AddNodes(len(frames[0]))
+		var sc mobility.ConnScratch
+		sc.GridRefresh(g, frames[len(frames)-1], physicalRadius)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc.GridRefresh(g, frames[i%len(frames)], physicalRadius)
+		}
+	}
+}
+
+// ConnectivityIncremental measures the production refresh: spatial-hash
+// candidates diffed against the previous neighbor sets, so only links
+// whose endpoints crossed radio range are toggled. One full warm cycle
+// creates every link the frame cycle will ever need, so the measured
+// loop is the true steady state: 0 allocs/op.
+func ConnectivityIncremental(seed uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		frames := physicalFrames(seed)
+		g := topo.New()
+		g.AddNodes(len(frames[0]))
+		var sc mobility.ConnScratch
+		for _, f := range frames {
+			sc.RefreshInto(g, f, physicalRadius)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc.RefreshInto(g, frames[i%len(frames)], physicalRadius)
+		}
+	}
+}
+
+// MobilityStep measures pure position advancement into a caller-owned
+// buffer for the 1000-ship fleet. 0 allocs/op once the buffer has grown.
+func MobilityStep(seed uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		m := physicalModel(seed)
+		var pos []topo.Point
+		pos = m.StepInto(pos, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pos = m.StepInto(pos, 0.1)
 		}
 	}
 }

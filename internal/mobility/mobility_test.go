@@ -166,6 +166,187 @@ func TestConnectivityUpdatesCost(t *testing.T) {
 	}
 }
 
+// linksIdentical asserts two graphs have byte-for-byte identical link
+// tables: same length, and same (From, To, Cost, Up) at every index —
+// index equality is what pins link creation order, the determinism
+// contract all three connectivity paths share.
+func linksIdentical(t *testing.T, want, got *topo.Graph, label string) {
+	t.Helper()
+	if want.Links() != got.Links() {
+		t.Fatalf("%s: %d links, oracle has %d", label, got.Links(), want.Links())
+	}
+	for i := 0; i < want.Links(); i++ {
+		if want.Link(i) != got.Link(i) {
+			t.Fatalf("%s: link %d = %+v, oracle %+v", label, i, got.Link(i), want.Link(i))
+		}
+	}
+}
+
+// snapshotLinks copies a graph's link table for change detection.
+func snapshotLinks(g *topo.Graph) []topo.Link {
+	out := make([]topo.Link, g.Links())
+	for i := range out {
+		out[i] = g.Link(i)
+	}
+	return out
+}
+
+func linksChanged(prev []topo.Link, g *topo.Graph) bool {
+	if len(prev) != g.Links() {
+		return true
+	}
+	for i := range prev {
+		if prev[i] != g.Link(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestConnectivityPathsAgree property-tests the determinism contract:
+// for every mobility model, random radii and dozens of refreshes with
+// range churn, the brute-force oracle, the spatial-hash GridRefresh and
+// the incremental RefreshInto produce identical link tables (set, cost,
+// creation order) and identical up-link counts; the two flap paths move
+// Version identically, and the incremental path moves Version exactly
+// when link state or costs actually changed.
+func TestConnectivityPathsAgree(t *testing.T) {
+	const n = 60
+	models := []struct {
+		name string
+		mk   func(seed uint64) Model
+	}{
+		{"waypoint", func(seed uint64) Model { return NewRandomWaypoint(n, 120, 1, 8, 0.3, sim.NewRNG(seed)) }},
+		{"walk", func(seed uint64) Model { return NewRandomWalk(n, 120, 6, 1.5, sim.NewRNG(seed)) }},
+		{"group", func(seed uint64) Model { return NewGroup(n, 120, 5, 30, sim.NewRNG(seed)) }},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 6; seed++ {
+				model := tc.mk(seed)
+				radius := 8 + float64(seed*7) // 15..50: sparse through dense
+				gOracle, gGrid, gInc := topo.New(), topo.New(), topo.New()
+				gOracle.AddNodes(n)
+				gGrid.AddNodes(n)
+				gInc.AddNodes(n)
+				var sGrid, sInc ConnScratch
+				prev := snapshotLinks(gInc)
+				for step := 0; step < 30; step++ {
+					pos := model.Step(0.8)
+					r := radius
+					if step%7 == 6 {
+						r = radius * 1.5 // radio-range churn on top of motion
+					}
+					vO, vG, vI := gOracle.Version(), gGrid.Version(), gInc.Version()
+					upO := Connectivity(gOracle, pos, r)
+					upG := sGrid.GridRefresh(gGrid, pos, r)
+					upI := sInc.RefreshInto(gInc, pos, r)
+					if upO != upG || upO != upI {
+						t.Fatalf("step %d: up counts oracle=%d grid=%d incremental=%d", step, upO, upG, upI)
+					}
+					linksIdentical(t, gOracle, gGrid, "grid")
+					linksIdentical(t, gOracle, gInc, "incremental")
+					if gOracle.Version()-vO != gGrid.Version()-vG {
+						t.Fatalf("step %d: grid version moved %d, oracle %d",
+							step, gGrid.Version()-vG, gOracle.Version()-vO)
+					}
+					moved := gInc.Version() != vI
+					changed := linksChanged(prev, gInc)
+					if moved != changed {
+						t.Fatalf("step %d: incremental version moved=%v but link state changed=%v", step, moved, changed)
+					}
+					prev = snapshotLinks(gInc)
+				}
+			}
+		})
+	}
+}
+
+// TestRefreshIntoNoMotionVersionStable pins the pulse-gate contract: a
+// refresh where nobody moved leaves Graph.Version untouched on the
+// incremental path (the oracle, by design, flaps every link and moves it).
+func TestRefreshIntoNoMotionVersionStable(t *testing.T) {
+	const n = 40
+	m := NewRandomWaypoint(n, 80, 1, 5, 0, sim.NewRNG(11))
+	g := topo.New()
+	g.AddNodes(n)
+	var s ConnScratch
+	pos := m.Step(1)
+	up1 := s.RefreshInto(g, pos, 25)
+	if up1 == 0 {
+		t.Fatal("degenerate layout: no links")
+	}
+	v := g.Version()
+	up2 := s.RefreshInto(g, pos, 25)
+	if up2 != up1 {
+		t.Fatalf("up count changed with no motion: %d -> %d", up1, up2)
+	}
+	if g.Version() != v {
+		t.Fatalf("no-motion refresh moved Version %d -> %d", v, g.Version())
+	}
+	// The brute-force oracle flaps and therefore moves Version — the very
+	// behavior the incremental path exists to avoid.
+	og := topo.New()
+	og.AddNodes(n)
+	Connectivity(og, pos, 25)
+	ov := og.Version()
+	Connectivity(og, pos, 25)
+	if og.Version() == ov {
+		t.Fatal("oracle unexpectedly stopped flapping — update this pin")
+	}
+}
+
+// TestRefreshIntoAllocFree pins the steady-state allocation contract of
+// the mobility hot loop: once every pair's links exist and the scratch
+// buffers have grown, StepInto + RefreshInto allocate nothing.
+func TestRefreshIntoAllocFree(t *testing.T) {
+	const n = 150
+	m := NewRandomWaypoint(n, 100, 1, 6, 0, sim.NewRNG(21))
+	g := topo.New()
+	g.AddNodes(n)
+	var s ConnScratch
+	var pos []topo.Point
+	// Warm up: a giant-radius refresh creates every pair's links once, so
+	// steady-state refreshes only toggle and re-cost existing links.
+	pos = m.StepInto(pos, 1)
+	s.GridRefresh(g, pos, 1e9)
+	s.RefreshInto(g, pos, 30)
+	allocs := testing.AllocsPerRun(20, func() {
+		pos = m.StepInto(pos, 0.5)
+		s.RefreshInto(g, pos, 30)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state mobility step allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestStepIntoMatchesStep pins that StepInto is Step plus a copy: two
+// identically seeded models advanced through the two APIs yield the same
+// trajectories for all three model kinds.
+func TestStepIntoMatchesStep(t *testing.T) {
+	mks := []func(seed uint64) Model{
+		func(seed uint64) Model { return NewRandomWaypoint(9, 70, 1, 5, 0.2, sim.NewRNG(seed)) },
+		func(seed uint64) Model { return NewRandomWalk(9, 70, 4, 2, sim.NewRNG(seed)) },
+		func(seed uint64) Model { return NewGroup(9, 70, 4, 10, sim.NewRNG(seed)) },
+	}
+	for k, mk := range mks {
+		a, b := mk(5), mk(5)
+		var buf []topo.Point
+		for step := 0; step < 15; step++ {
+			pa := a.Step(0.7)
+			buf = b.StepInto(buf, 0.7)
+			if len(pa) != len(buf) {
+				t.Fatalf("model %d: lengths differ", k)
+			}
+			for i := range pa {
+				if pa[i] != buf[i] {
+					t.Fatalf("model %d step %d node %d: %v vs %v", k, step, i, pa[i], buf[i])
+				}
+			}
+		}
+	}
+}
+
 func TestConnectivityDeterministicPartition(t *testing.T) {
 	// Mobility + connectivity must be reproducible per seed.
 	run := func() []int {

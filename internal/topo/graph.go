@@ -30,6 +30,10 @@ type Graph struct {
 	link    []Link
 	pos     []Point // optional geometry, used by geometric generators
 	version uint64  // bumped on every topology change: node/link add, up/down, cost
+	// edge[u] maps a target node to the first link u→target in insertion
+	// order (up or down), giving LinkBetween its O(1) lookup. Maps are
+	// created lazily on a node's first outgoing link.
+	edge []map[NodeID]int32
 }
 
 // Point is a 2-D coordinate used by geometric topologies and mobility.
@@ -50,6 +54,7 @@ func New() *Graph { return &Graph{} }
 func (g *Graph) AddNode() NodeID {
 	g.adj = append(g.adj, nil)
 	g.pos = append(g.pos, Point{})
+	g.edge = append(g.edge, nil)
 	g.n++
 	g.version++
 	return NodeID(g.n - 1)
@@ -82,6 +87,14 @@ func (g *Graph) Connect(from, to NodeID, cost float64) int {
 	g.link = append(g.link, Link{From: from, To: to, Cost: cost, Up: true})
 	idx := len(g.link) - 1
 	g.adj[from] = append(g.adj[from], idx)
+	if g.edge[from] == nil {
+		g.edge[from] = make(map[NodeID]int32)
+	}
+	if _, dup := g.edge[from][to]; !dup {
+		// Parallel edges keep the first index, matching the insertion-order
+		// scan LinkBetween replaces.
+		g.edge[from][to] = int32(idx)
+	}
 	g.version++
 	return idx
 }
@@ -153,6 +166,18 @@ func (g *Graph) FindLink(from, to NodeID) int {
 		if g.link[li].Up && g.link[li].To == to {
 			return li
 		}
+	}
+	return -1
+}
+
+// LinkBetween returns the index of the first link from→to in insertion
+// order — up or down — or -1 when the nodes were never connected. It is
+// an O(1) map lookup, which is what lets the incremental connectivity
+// refresh toggle a specific directed link without scanning the node's
+// adjacency (the old reuseDirected path was linear in out-degree).
+func (g *Graph) LinkBetween(from, to NodeID) int {
+	if li, ok := g.edge[from][to]; ok {
+		return int(li)
 	}
 	return -1
 }
@@ -591,6 +616,17 @@ func (g *Graph) Clone() *Graph {
 	}
 	c.link = append([]Link(nil), g.link...)
 	c.pos = append([]Point(nil), g.pos...)
+	c.edge = make([]map[NodeID]int32, len(g.edge))
+	for i, m := range g.edge {
+		if m == nil {
+			continue
+		}
+		cm := make(map[NodeID]int32, len(m))
+		for to, li := range m {
+			cm[to] = li
+		}
+		c.edge[i] = cm
+	}
 	return c
 }
 

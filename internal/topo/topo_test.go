@@ -335,3 +335,71 @@ func TestBetweennessIgnoresDownLinks(t *testing.T) {
 		t.Fatalf("betweenness over dead link: %v", cb2)
 	}
 }
+
+func TestLinkBetween(t *testing.T) {
+	g := New()
+	g.AddNodes(3)
+	ab := g.Connect(0, 1, 2)
+	g.Connect(1, 2, 1)
+	// Found regardless of up/down state — unlike FindLink.
+	if got := g.LinkBetween(0, 1); got != ab {
+		t.Fatalf("LinkBetween(0,1) = %d, want %d", got, ab)
+	}
+	g.SetUp(ab, false)
+	if got := g.LinkBetween(0, 1); got != ab {
+		t.Fatalf("LinkBetween(0,1) after down = %d, want %d", got, ab)
+	}
+	if g.FindLink(0, 1) != -1 {
+		t.Fatal("FindLink saw a down link")
+	}
+	// Absent pairs and the reverse orientation are -1.
+	if g.LinkBetween(1, 0) != -1 || g.LinkBetween(0, 2) != -1 {
+		t.Fatal("phantom link found")
+	}
+	// Parallel edges resolve to the first inserted, mirroring the
+	// insertion-order adjacency scan this index replaced.
+	dup := g.Connect(0, 1, 9)
+	if dup == ab {
+		t.Fatal("Connect reused an index")
+	}
+	if got := g.LinkBetween(0, 1); got != ab {
+		t.Fatalf("parallel edge shadowed the first: got %d, want %d", got, ab)
+	}
+}
+
+func TestLinkBetweenCloneIsolation(t *testing.T) {
+	g := New()
+	g.AddNodes(2)
+	ab := g.Connect(0, 1, 1)
+	c := g.Clone()
+	if c.LinkBetween(0, 1) != ab {
+		t.Fatal("clone lost the link index")
+	}
+	// New links in the clone must not leak into the original's index.
+	c.Connect(1, 0, 1)
+	if g.LinkBetween(1, 0) != -1 {
+		t.Fatal("clone mutation visible through original's index")
+	}
+}
+
+func TestLinkBetweenMatchesAdjacencyScan(t *testing.T) {
+	rng := sim.NewRNG(77)
+	g := ConnectedWaxman(40, 0.4, 0.3, rng)
+	for from := 0; from < g.N(); from++ {
+		for to := 0; to < g.N(); to++ {
+			if from == to {
+				continue
+			}
+			want := -1
+			for _, li := range g.AdjLinks(NodeID(from)) {
+				if g.Link(li).To == NodeID(to) {
+					want = li
+					break
+				}
+			}
+			if got := g.LinkBetween(NodeID(from), NodeID(to)); got != want {
+				t.Fatalf("LinkBetween(%d,%d) = %d, scan found %d", from, to, got, want)
+			}
+		}
+	}
+}

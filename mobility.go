@@ -3,6 +3,7 @@ package viator
 import (
 	"viator/internal/mobility"
 	"viator/internal/routing"
+	"viator/internal/topo"
 )
 
 // Ship mobility: "the main distinction from other AN approaches
@@ -11,6 +12,14 @@ import (
 // positions advance continuously, radio-range connectivity is refreshed
 // periodically, and the adaptive router re-pulses after every refresh so
 // shuttles keep flowing over the changing topology.
+//
+// The refresh is incremental and allocation-free in steady state: the
+// model steps into a caller-owned position buffer, a spatial hash
+// enumerates candidate pairs in O(n·k), and the new neighbor sets are
+// diffed against the previous refresh's, so only links whose endpoints
+// actually crossed radio range are toggled. A refresh where nothing
+// moved leaves topo.Graph.Version untouched, which lets the router's
+// pulse gate skip recomputation entirely.
 
 // Mobility drives a Network's physical layer.
 type Mobility struct {
@@ -18,10 +27,17 @@ type Mobility struct {
 	model  mobility.Model
 	radius float64
 
+	scratch mobility.ConnScratch
+	pos     []topo.Point
+
 	// Refreshes counts connectivity rebuilds; Partitions counts refreshes
 	// that left the fleet disconnected.
 	Refreshes  uint64
 	Partitions uint64
+	// LinksUp is the directed up-link count after the latest refresh —
+	// the connectivity refresh reports it, so nothing rescans the link
+	// table to learn it.
+	LinksUp int
 	// AODV is the on-demand route fallback available to experiments.
 	AODV *routing.AODV
 }
@@ -38,8 +54,8 @@ func (n *Network) EnableMobility(model mobility.Model, radius, period float64) *
 	n.K.Every(period, func() {
 		dt := n.Now() - last
 		last = n.Now()
-		pos := model.Step(dt)
-		mobility.Connectivity(n.G, pos, radius)
+		m.pos = model.StepInto(m.pos, dt)
+		m.LinksUp = m.scratch.RefreshInto(n.G, m.pos, radius)
 		m.Refreshes++
 		if !n.G.Connected() {
 			m.Partitions++
@@ -49,17 +65,17 @@ func (n *Network) EnableMobility(model mobility.Model, radius, period float64) *
 			n.Router.ObserveUtilization(li, n.Net.Utilization(li))
 		}
 		n.Router.Pulse()
-		n.Trace.Add(n.Now(), "mobility", "connectivity refresh: %d links up", countUp(n))
+		n.Trace.Add(n.Now(), "mobility", "connectivity refresh: %d links up", m.LinksUp)
 	})
 	return m
 }
 
-func countUp(n *Network) int {
-	up := 0
-	for li := 0; li < n.G.Links(); li++ {
-		if n.G.Link(li).Up {
-			up++
-		}
-	}
-	return up
+// RefreshNow synthesizes connectivity from the model's current positions
+// immediately, outside the periodic schedule — the arming step scenarios
+// run before traffic starts. It updates LinksUp but counts neither a
+// refresh nor a partition probe, and leaves re-routing to the caller.
+func (m *Mobility) RefreshNow() int {
+	m.pos = append(m.pos[:0], m.model.Positions()...)
+	m.LinksUp = m.scratch.RefreshInto(m.net.G, m.pos, m.radius)
+	return m.LinksUp
 }

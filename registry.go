@@ -199,5 +199,7 @@ func DefaultRegistry() *Registry {
 		Ablation: true, Run: AblationFactHalfLife, Check: wantRows(5)})
 	r.Register(Experiment{ID: "S1", Title: "Stress — metropolis: 1000 mobile ships, churn + self-healing under load",
 		Stress: true, Run: func(s uint64) *Table { return RunS1(s).Table() }, Check: wantRows(5)})
+	r.Register(Experiment{ID: "S2", Title: "Stress — megalopolis: 10,000 mobile ships, district traffic, churn + self-healing",
+		Stress: true, Run: func(s uint64) *Table { return RunS2(s).Table() }, Check: wantRows(5)})
 	return r
 }

@@ -7,8 +7,8 @@ import (
 
 func TestDefaultRegistryCatalog(t *testing.T) {
 	reg := DefaultRegistry()
-	if got := len(reg.Experiments()); got != 17 {
-		t.Fatalf("registry size = %d, want 17 (E1-E12 + A1-A4 + S1)", got)
+	if got := len(reg.Experiments()); got != 18 {
+		t.Fatalf("registry size = %d, want 18 (E1-E12 + A1-A4 + S1-S2)", got)
 	}
 	if got := len(reg.Paper()); got != 12 {
 		t.Fatalf("paper experiments = %d, want 12", got)
@@ -16,8 +16,8 @@ func TestDefaultRegistryCatalog(t *testing.T) {
 	if got := len(reg.Ablations()); got != 4 {
 		t.Fatalf("ablations = %d, want 4", got)
 	}
-	if got := len(reg.Stress()); got != 1 {
-		t.Fatalf("stress scenarios = %d, want 1", got)
+	if got := len(reg.Stress()); got != 2 {
+		t.Fatalf("stress scenarios = %d, want 2", got)
 	}
 	// IDs are unique, ordered, and every descriptor is complete.
 	ids := reg.IDs()
@@ -51,7 +51,7 @@ func TestRegistryResolve(t *testing.T) {
 
 	// Empty selection = everything, in order.
 	all, err := reg.Resolve(nil)
-	if err != nil || len(all) != 17 {
+	if err != nil || len(all) != 18 {
 		t.Fatalf("Resolve(nil) = %d experiments, err %v", len(all), err)
 	}
 
