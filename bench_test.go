@@ -221,6 +221,19 @@ func BenchmarkMobilityStep(b *testing.B) {
 	benchprobe.MobilityStep(42)(b)
 }
 
+// Benchmark{HistObserve,HistQuantile,HistMerge,RecorderTick,
+// ScorecardDelivered} measure the streaming-telemetry hot paths: the
+// fixed-memory histogram's observe/quantile/merge, one flight-recorder
+// tick at stress-scenario width, and the per-delivery QoS scorecard.
+// Every observe-side path is 0 allocs/op — the property that lets
+// telemetry ride the packet hot path. Bodies are shared with
+// `viatorbench -bench telemetry` via internal/benchprobe.
+func BenchmarkHistObserve(b *testing.B)        { benchprobe.HistObserve(b) }
+func BenchmarkHistQuantile(b *testing.B)       { benchprobe.HistQuantile(b) }
+func BenchmarkHistMerge(b *testing.B)          { benchprobe.HistMerge(b) }
+func BenchmarkRecorderTick(b *testing.B)       { benchprobe.RecorderTick(b) }
+func BenchmarkScorecardDelivered(b *testing.B) { benchprobe.ScorecardDelivered(b) }
+
 func BenchmarkRoleFusionPipeline(b *testing.B) {
 	f := roles.NewFuser(4, 0.25)
 	c := roles.Chunk{Stream: "s", Bytes: 1000}

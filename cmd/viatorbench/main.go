@@ -1,35 +1,44 @@
 // Command viatorbench regenerates every table and figure of the paper's
 // reproduction. Experiments come from the viator registry (E1–E12, the
-// A1–A4 ablation sweeps and the S1 stress scenario); with -reps N each
+// A1–A4 ablation sweeps and the S1/S2 stress scenarios); with -reps N each
 // experiment is replicated over N deterministic seeds in parallel and every
 // numeric cell is reported as mean ± 95% CI. Output is aligned text, CSV
 // (-csv) or JSON (-json); for a fixed (-seed, -reps) pair the output is
 // byte-identical across invocations and across -workers values.
 //
-// -bench switches to the substrate micro-benchmark suite: it times the
-// kernel schedule/fire path, the per-packet send path and a replicated E1
-// run, and emits a JSON document (the BENCH_kernel.json artifact tracked
-// by CI) instead of tables. -bench-routing does the same for the adaptive
-// control plane — gated pulse, lazy sparse cycle, eager parallel rebuild
-// and the warm-table next-hop lookup at S1 scale — emitting the
-// BENCH_routing.json artifact. -bench-mobility covers the physical
-// layer — the brute-force, spatial-hash and incremental connectivity
-// refreshes plus pure mobility stepping at 1000 ships — emitting
-// BENCH_mobility.json.
+// -bench <kernel|routing|mobility|telemetry|all> switches to the
+// micro-benchmark suites, emitting a JSON document (the BENCH_<suite>.json
+// artifacts tracked by CI) instead of tables: `kernel` times the kernel
+// schedule/fire path, the per-packet send path and a replicated E1 run;
+// `routing` the adaptive control plane at S1 scale; `mobility` the
+// physical-layer connectivity refreshes; `telemetry` the streaming
+// histogram, flight recorder and QoS scorecard hot paths; `all` every
+// suite in one document. A bare `-bench` and the old `-bench-routing`/
+// `-bench-mobility` booleans survive as deprecated aliases for `-bench
+// kernel`/`-bench routing`/`-bench mobility`.
+//
+// -telemetry out.jsonl switches to the streaming-telemetry export: the
+// telemetry-capable experiments in the selection (default: all of them —
+// the stress scenarios) run -reps times and their flight-recorder series,
+// latency/queue-depth histograms and per-flow QoS scorecards are written
+// as JSON-lines to out.jsonl, with a Prometheus text snapshot of the
+// pooled cross-replicate merge beside it (out.prom). Like the tables, the
+// export is byte-identical across -workers values.
 //
 // Usage:
 //
 //	viatorbench [-seed N] [-reps N] [-workers K] [-csv|-json] [-only E5,E11] [-ablations] [-stress] [-list]
-//	viatorbench -bench
-//	viatorbench -bench-routing
-//	viatorbench -bench-mobility
+//	viatorbench -bench <kernel|routing|mobility|telemetry|all>
+//	viatorbench -telemetry out.jsonl [-only S1] [-reps N] [-workers K]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -37,6 +46,51 @@ import (
 	"viator"
 	"viator/internal/benchprobe"
 )
+
+// benchSelectors are the valid -bench suite names.
+var benchSelectors = map[string]bool{
+	"kernel": true, "routing": true, "mobility": true, "telemetry": true, "all": true,
+}
+
+// benchFlag is the -bench selector. It keeps bool-flag semantics so the
+// legacy bare `-bench` (PR 2's spelling) still selects the kernel suite,
+// while `-bench=<suite>` picks a suite explicitly; rewriteBenchArg lets
+// the space-separated `-bench <suite>` spelling work too.
+type benchFlag struct{ suite string }
+
+func (b *benchFlag) String() string   { return b.suite }
+func (b *benchFlag) IsBoolFlag() bool { return true }
+func (b *benchFlag) Set(s string) error {
+	switch {
+	case s == "true": // bare -bench: deprecated alias for the kernel suite
+		b.suite = "kernel"
+	case s == "false":
+		b.suite = ""
+	case benchSelectors[s]:
+		b.suite = s
+	default:
+		return fmt.Errorf("valid suites: kernel, routing, mobility, telemetry, all")
+	}
+	return nil
+}
+
+// rewriteBenchArg folds the space-separated `-bench <suite>` spelling
+// into `-bench=<suite>` before flag parsing (the flag keeps bool-flag
+// semantics for the deprecated bare `-bench`, and Go's flag package
+// never consumes a separate value for bool flags).
+func rewriteBenchArg(args []string) []string {
+	out := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if (a == "-bench" || a == "--bench") && i+1 < len(args) && benchSelectors[args[i+1]] {
+			out = append(out, "-bench="+args[i+1])
+			i++
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
 
 func main() {
 	seed := flag.Uint64("seed", 42, "base seed (equal seeds replay exactly)")
@@ -46,23 +100,31 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of aligned tables")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all paper experiments")
 	ablations := flag.Bool("ablations", false, "also run the design-knob ablation sweeps A1-A4")
-	stress := flag.Bool("stress", false, "also run the stress/scale scenarios (S1)")
+	stress := flag.Bool("stress", false, "also run the stress/scale scenarios (S1, S2)")
 	list := flag.Bool("list", false, "list registered experiment ids and exit")
-	bench := flag.Bool("bench", false, "run the substrate micro-benchmark suite and emit JSON (BENCH_kernel.json)")
-	benchRouting := flag.Bool("bench-routing", false, "run the routing control-plane benchmark suite and emit JSON (BENCH_routing.json)")
-	benchMobility := flag.Bool("bench-mobility", false, "run the physical-layer benchmark suite and emit JSON (BENCH_mobility.json)")
-	flag.Parse()
-
-	if *bench {
-		runBench(*seed, *workers)
-		return
+	var bench benchFlag
+	flag.Var(&bench, "bench", "run a micro-benchmark suite (kernel|routing|mobility|telemetry|all) and emit JSON (BENCH_<suite>.json)")
+	benchRouting := flag.Bool("bench-routing", false, "deprecated alias for -bench routing")
+	benchMobility := flag.Bool("bench-mobility", false, "deprecated alias for -bench mobility")
+	telemetryOut := flag.String("telemetry", "", "export streaming telemetry for the selected telemetry-capable experiments as JSON-lines to this file (plus a Prometheus snapshot beside it)")
+	flag.CommandLine.Parse(rewriteBenchArg(os.Args[1:]))
+	if flag.NArg() > 0 {
+		// A stray positional arg is almost always a typo'd -bench selector
+		// (bool-flag semantics would otherwise silently run the kernel
+		// suite); refuse instead of guessing.
+		fmt.Fprintf(os.Stderr, "viatorbench: unexpected argument %q (valid -bench suites: kernel, routing, mobility, telemetry, all)\n", flag.Arg(0))
+		os.Exit(2)
 	}
+
+	suite := bench.suite
 	if *benchRouting {
-		runBenchRouting(*seed)
-		return
+		suite = "routing"
 	}
 	if *benchMobility {
-		runBenchMobility(*seed)
+		suite = "mobility"
+	}
+	if suite != "" {
+		runBenchSuite(suite, *seed, *workers)
 		return
 	}
 
@@ -85,13 +147,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *telemetryOut != "" {
+		tids := splitIDs(*only)
+		if _, err := reg.Resolve(tids); err != nil {
+			fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runTelemetryExport(reg, tids, *reps, *seed, *workers, *telemetryOut); err != nil {
+			fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var ids []string
 	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			if id = strings.TrimSpace(id); id != "" {
-				ids = append(ids, id)
-			}
-		}
+		ids = splitIDs(*only)
 		if _, err := reg.Resolve(ids); err != nil {
 			fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
 			os.Exit(2)
@@ -190,12 +261,31 @@ func emitBench(generatedBy string, seed uint64, results []benchResult) {
 	}
 }
 
-// runBench executes the substrate benchmark suite (BENCH_kernel.json).
-// The bodies are the exact ones `go test -bench` runs
-// (internal/benchprobe), so CI's benchmark step and the artifact can
-// never silently diverge.
-func runBench(seed uint64, workers int) {
-	emitBench("viatorbench -bench", seed, []benchResult{
+// runBenchSuite dispatches one -bench selector: each suite's bodies are
+// the exact ones `go test -bench` runs (internal/benchprobe), so CI's
+// benchmark step and the BENCH_<suite>.json artifacts can never silently
+// diverge; `all` concatenates every suite into one document.
+func runBenchSuite(suite string, seed uint64, workers int) {
+	var results []benchResult
+	if suite == "kernel" || suite == "all" {
+		results = append(results, benchKernel(seed, workers)...)
+	}
+	if suite == "routing" || suite == "all" {
+		results = append(results, benchRouting(seed)...)
+	}
+	if suite == "mobility" || suite == "all" {
+		results = append(results, benchMobility(seed)...)
+	}
+	if suite == "telemetry" || suite == "all" {
+		results = append(results, benchTelemetry()...)
+	}
+	emitBench("viatorbench -bench "+suite, seed, results)
+}
+
+// benchKernel is the substrate suite (BENCH_kernel.json): the kernel
+// schedule/fire path, the per-packet send path and a replicated E1 run.
+func benchKernel(seed uint64, workers int) []benchResult {
+	return []benchResult{
 		record("kernel.schedule_fire", benchprobe.KernelScheduleFire),
 		record("netsim.send_deliver", benchprobe.NetsimSendDeliver),
 		record("e1.replicated_4x", func(b *testing.B) {
@@ -204,34 +294,29 @@ func runBench(seed uint64, workers int) {
 				return err
 			})
 		}),
-	})
+	}
 }
 
-// runBenchRouting executes the routing control-plane benchmark suite
-// (BENCH_routing.json): the gated no-op pulse, the sparse-traffic lazy
-// adaptation cycle, the eager parallel all-pairs rebuild and the
-// warm-table next-hop lookup, all on an S1-sized radio mesh (1000 nodes,
-// ~16k links, 2 overlays). Bodies are shared with `go test -bench
-// 'AdaptivePulse|AdaptiveNextHop'` via internal/benchprobe.
-func runBenchRouting(seed uint64) {
-	emitBench("viatorbench -bench-routing", seed, []benchResult{
+// benchRouting is the routing control-plane suite (BENCH_routing.json):
+// the gated no-op pulse, the sparse-traffic lazy adaptation cycle, the
+// eager parallel all-pairs rebuild and the warm-table next-hop lookup,
+// all on an S1-sized radio mesh (1000 nodes, ~16k links, 2 overlays).
+func benchRouting(seed uint64) []benchResult {
+	return []benchResult{
 		record("routing.pulse_steady", benchprobe.AdaptivePulseSteady(seed)),
 		record("routing.pulse_lazy_sparse", benchprobe.AdaptivePulseLazySparse(seed)),
 		record("routing.pulse_rebuild", benchprobe.AdaptivePulseRebuild(seed)),
 		record("routing.next_hop", benchprobe.AdaptiveNextHop(seed)),
-	})
+	}
 }
 
-// runBenchMobility executes the physical-layer benchmark suite
-// (BENCH_mobility.json): the brute-force O(n²) connectivity oracle, the
-// spatial-hash grid refresh, the incremental diff refresh the simulation
-// loop runs, and pure mobility stepping — all at S1 scale (1000 mobile
-// ships, radius 75) — plus one full end-to-end S2 megalopolis run (10k
-// ships), the scenario the refactor exists to make runnable. Refresh and
-// stepping bodies are shared with `go test -bench
-// 'Connectivity|MobilityStep'` via internal/benchprobe.
-func runBenchMobility(seed uint64) {
-	emitBench("viatorbench -bench-mobility", seed, []benchResult{
+// benchMobility is the physical-layer suite (BENCH_mobility.json): the
+// brute-force O(n²) connectivity oracle, the spatial-hash grid refresh,
+// the incremental diff refresh the simulation loop runs, and pure
+// mobility stepping — all at S1 scale (1000 mobile ships, radius 75) —
+// plus one full end-to-end S2 megalopolis run (10k ships).
+func benchMobility(seed uint64) []benchResult {
+	return []benchResult{
 		record("mobility.connectivity_oracle", benchprobe.ConnectivityOracle(seed)),
 		record("mobility.connectivity_grid", benchprobe.ConnectivityGrid(seed)),
 		record("mobility.connectivity_incremental", benchprobe.ConnectivityIncremental(seed)),
@@ -242,5 +327,84 @@ func runBenchMobility(seed uint64) {
 				return err
 			})
 		}),
-	})
+	}
+}
+
+// benchTelemetry is the streaming-telemetry suite (BENCH_telemetry.json):
+// the histogram observe/quantile/merge paths, one flight-recorder tick at
+// stress-scenario width, and the per-delivery scorecard cost. The alloc
+// columns are the point: zero on every hot path.
+func benchTelemetry() []benchResult {
+	return []benchResult{
+		record("telemetry.hist_observe", benchprobe.HistObserve),
+		record("telemetry.hist_quantile", benchprobe.HistQuantile),
+		record("telemetry.hist_merge", benchprobe.HistMerge),
+		record("telemetry.recorder_tick", benchprobe.RecorderTick),
+		record("telemetry.scorecard_delivered", benchprobe.ScorecardDelivered),
+	}
+}
+
+// splitIDs parses a comma-separated -only value into experiment ids
+// (nil for an empty selection).
+func splitIDs(only string) []string {
+	var ids []string
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// writeFile creates path and streams emit's output into it through a
+// buffered writer, surfacing flush/close errors.
+func writeFile(path string, emit func(w *bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := emit(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runTelemetryExport is the -telemetry mode: collect streaming telemetry
+// for the selected (or all) telemetry-capable experiments and write the
+// JSON-lines export plus one Prometheus snapshot of the pooled merges.
+func runTelemetryExport(reg *viator.Registry, ids []string, reps int, seed uint64, workers int, path string) error {
+	results, err := reg.CollectTelemetry(ids, reps, seed, workers)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(path, func(w *bufio.Writer) error {
+		for _, tr := range results {
+			if err := tr.WriteJSONL(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	promPath := strings.TrimSuffix(path, filepath.Ext(path)) + ".prom"
+	if promPath == path {
+		promPath = path + ".prom"
+	}
+	if err := writeFile(promPath, func(w *bufio.Writer) error {
+		return viator.WritePromSnapshot(w, results)
+	}); err != nil {
+		return err
+	}
+	for _, tr := range results {
+		fmt.Printf("telemetry: %s reps=%d baseSeed=%d -> %s (JSONL), %s (Prometheus)\n",
+			tr.ID, tr.Reps, tr.BaseSeed, path, promPath)
+	}
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"viator/internal/ship"
 	"viator/internal/shuttle"
 	"viator/internal/stats"
+	"viator/internal/telemetry"
 	"viator/internal/topo"
 )
 
@@ -35,6 +36,12 @@ const s1Ships = 1000
 // s1Horizon is the simulated duration in seconds.
 const s1Horizon = 10.0
 
+// S1 data-flow SLO: p95 end-to-end latency at or under 50 ms and at
+// least 60% of launched shuttles delivered. Sized so a healthy
+// metropolis passes while a partitioned or congested one fails — the
+// scorecard is a gate, not a participation trophy.
+var s1SLO = telemetry.SLO{Quantile: 0.95, MaxLatency: 0.050, MinDeliveryRatio: 0.60}
+
 // S1Row is one checkpoint of the metropolis run.
 type S1Row struct {
 	T          float64
@@ -45,11 +52,20 @@ type S1Row struct {
 	Repairs    uint64  // self-healing resurrections so far
 	Partitions uint64  // connectivity refreshes that left the fleet split
 	Entropy    float64 // role differentiation across the alive fleet
+
+	// QoS columns from the telemetry scorecard: cumulative data-flow
+	// latency quantiles (milliseconds) and the SLO verdict (1 pass,
+	// 0 fail) at the checkpoint.
+	P50ms, P95ms, P99ms float64
+	SLOOK               float64
 }
 
 // S1Result is the metropolis trajectory.
 type S1Result struct {
 	Rows []S1Row
+	// Dump is the run's exportable telemetry (recorder series, latency
+	// and queue-depth histograms, QoS scorecards).
+	Dump *telemetry.Dump
 }
 
 // RunS1 executes the metropolis scenario for one seed.
@@ -69,6 +85,13 @@ func RunS1(seed uint64) *S1Result {
 	n.Router.Pulse()
 	n.StartPulses(2.0)
 	healer := n.EnableSelfHealing(1.0)
+
+	// Telemetry: fixed-memory sinks plus a half-second flight-recorder
+	// tick. Strictly observational — the scenario's pre-telemetry columns
+	// replay byte-identical (pinned by the cross-worker CI gates).
+	tel := n.EnableTelemetry(TelemetryConfig{Tick: 0.5, SLO: s1SLO})
+	tel.Rec.Gauge("links.up", func() float64 { return float64(mob.LinksUp) })
+	tel.Rec.CounterFn("healer.repairs", func() float64 { return float64(healer.Repairs) })
 
 	// Role deployment: epidemic jets seed functional differentiation
 	// across the metropolis from four corners of the fleet.
@@ -98,6 +121,11 @@ func RunS1(seed uint64) *S1Result {
 	for t := 2.0; t <= s1Horizon; t += 2.0 {
 		t := t
 		n.K.At(t, func() {
+			qos := tel.Report("")
+			slo := 0.0
+			if qos.SLOPass {
+				slo = 1
+			}
 			res.Rows = append(res.Rows, S1Row{
 				T:          t,
 				AliveFrac:  n.AliveFraction(),
@@ -107,22 +135,30 @@ func RunS1(seed uint64) *S1Result {
 				Repairs:    healer.Repairs,
 				Partitions: mob.Partitions,
 				Entropy:    metamorph.RoleEntropy(n.Ships),
+				P50ms:      qos.P50 * 1e3,
+				P95ms:      qos.P95 * 1e3,
+				P99ms:      qos.P99 * 1e3,
+				SLOOK:      slo,
 			})
 		})
 	}
 	n.Run(s1Horizon)
 	n.StopPulses()
+	tel.Stop()
+	res.Dump = tel.Dump()
 	return res
 }
 
 // Table renders the metropolis trajectory.
 func (r *S1Result) Table() *stats.Table {
 	t := stats.NewTable("S1 — metropolis: 1000 mobile ships, churn + self-healing under load",
-		"t (s)", "alive frac", "links up", "delivered", "lost", "repairs", "partitions", "role entropy")
+		"t (s)", "alive frac", "links up", "delivered", "lost", "repairs", "partitions", "role entropy",
+		"p50 (ms)", "p95 (ms)", "p99 (ms)", "SLO ok")
 	for _, row := range r.Rows {
 		t.AddRow(row.T, row.AliveFrac, row.LinksUp,
 			float64(row.Delivered), float64(row.Lost),
-			float64(row.Repairs), float64(row.Partitions), row.Entropy)
+			float64(row.Repairs), float64(row.Partitions), row.Entropy,
+			row.P50ms, row.P95ms, row.P99ms, row.SLOOK)
 	}
 	return t
 }

@@ -7,6 +7,7 @@ import (
 	"viator/internal/ship"
 	"viator/internal/shuttle"
 	"viator/internal/stats"
+	"viator/internal/telemetry"
 	"viator/internal/topo"
 )
 
@@ -46,6 +47,11 @@ const s2Horizon = 5.0
 // hops out.
 const s2District = 400.0
 
+// S2 district-flow SLO: traffic stays a few hops out, so the latency
+// bound matches S1's; the delivery floor is lower because saturated
+// churn at 10k ships costs more shuttles to dead docks and repartitions.
+var s2SLO = telemetry.SLO{Quantile: 0.95, MaxLatency: 0.050, MinDeliveryRatio: 0.50}
+
 // S2Row is one checkpoint of the megalopolis run.
 type S2Row struct {
 	T          float64
@@ -56,11 +62,20 @@ type S2Row struct {
 	Repairs    uint64  // self-healing resurrections so far
 	Partitions uint64  // connectivity refreshes that left the fleet split
 	Entropy    float64 // role differentiation across the alive fleet
+
+	// QoS columns from the telemetry scorecard: cumulative district-flow
+	// latency quantiles (milliseconds) and the SLO verdict (1 pass,
+	// 0 fail) at the checkpoint.
+	P50ms, P95ms, P99ms float64
+	SLOOK               float64
 }
 
 // S2Result is the megalopolis trajectory.
 type S2Result struct {
 	Rows []S2Row
+	// Dump is the run's exportable telemetry (recorder series, latency
+	// and queue-depth histograms, QoS scorecards).
+	Dump *telemetry.Dump
 }
 
 // RunS2 executes the megalopolis scenario for one seed.
@@ -77,6 +92,12 @@ func RunS2(seed uint64) *S2Result {
 	n.Router.Pulse()
 	n.StartPulses(2.0)
 	healer := n.EnableSelfHealing(1.0)
+
+	// Telemetry: identical stack to S1 (fixed memory however many of the
+	// ~10k-ship run's packets complete); strictly observational.
+	tel := n.EnableTelemetry(TelemetryConfig{Tick: 0.5, SLO: s2SLO})
+	tel.Rec.Gauge("links.up", func() float64 { return float64(mob.LinksUp) })
+	tel.Rec.CounterFn("healer.repairs", func() float64 { return float64(healer.Repairs) })
 
 	// Role deployment: epidemic jets seed functional differentiation
 	// from four districts of the megalopolis.
@@ -117,6 +138,11 @@ func RunS2(seed uint64) *S2Result {
 	for t := 1.0; t <= s2Horizon; t += 1.0 {
 		t := t
 		n.K.At(t, func() {
+			qos := tel.Report("")
+			slo := 0.0
+			if qos.SLOPass {
+				slo = 1
+			}
 			res.Rows = append(res.Rows, S2Row{
 				T:          t,
 				AliveFrac:  n.AliveFraction(),
@@ -126,22 +152,30 @@ func RunS2(seed uint64) *S2Result {
 				Repairs:    healer.Repairs,
 				Partitions: mob.Partitions,
 				Entropy:    metamorph.RoleEntropy(n.Ships),
+				P50ms:      qos.P50 * 1e3,
+				P95ms:      qos.P95 * 1e3,
+				P99ms:      qos.P99 * 1e3,
+				SLOOK:      slo,
 			})
 		})
 	}
 	n.Run(s2Horizon)
 	n.StopPulses()
+	tel.Stop()
+	res.Dump = tel.Dump()
 	return res
 }
 
 // Table renders the megalopolis trajectory.
 func (r *S2Result) Table() *stats.Table {
 	t := stats.NewTable("S2 — megalopolis: 10,000 mobile ships, district traffic, churn + self-healing",
-		"t (s)", "alive frac", "links up", "delivered", "lost", "repairs", "partitions", "role entropy")
+		"t (s)", "alive frac", "links up", "delivered", "lost", "repairs", "partitions", "role entropy",
+		"p50 (ms)", "p95 (ms)", "p99 (ms)", "SLO ok")
 	for _, row := range r.Rows {
 		t.AddRow(row.T, row.AliveFrac, row.LinksUp,
 			float64(row.Delivered), float64(row.Lost),
-			float64(row.Repairs), float64(row.Partitions), row.Entropy)
+			float64(row.Repairs), float64(row.Partitions), row.Entropy,
+			row.P50ms, row.P95ms, row.P99ms, row.SLOOK)
 	}
 	return t
 }

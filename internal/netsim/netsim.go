@@ -27,6 +27,12 @@
 //     topo.Graph.Version reports a structural change, not on every packet.
 //   - Drop/delivery tallies use the stats.Counter integer-keyed fast path:
 //     per-packet accounting is an array increment, not a map lookup.
+//   - End-to-end latency has two sink tiers: the default retained-sample
+//     stats.Summary (exact percentiles, what paper tables consume) and an
+//     optional telemetry.Hist (fixed memory, 0 allocs per delivery,
+//     quantiles within 1%) that stress scenarios install so steady-state
+//     Deliver never grows a retained slice. A second optional Hist
+//     observes per-link queue depth at enqueue.
 package netsim
 
 import (
@@ -34,17 +40,21 @@ import (
 
 	"viator/internal/sim"
 	"viator/internal/stats"
+	"viator/internal/telemetry"
 	"viator/internal/topo"
 )
 
 // Packet is one transmissible unit. Payload carries higher-layer content
-// (shuttle frames, capsule bytes, media chunks) opaquely.
+// (shuttle frames, capsule bytes, media chunks) opaquely. Flow is an
+// opaque upper-layer tag (0 = untagged) that rides the packet so QoS
+// scorecards can attribute the delivery without re-parsing Class.
 type Packet struct {
 	ID      uint64
 	Src     topo.NodeID
 	Dst     topo.NodeID
 	Size    int // bytes on the wire
 	Class   string
+	Flow    int32
 	TTL     int
 	Created sim.Time
 	Hops    int
@@ -120,7 +130,22 @@ type Net struct {
 	recv        func(at topo.NodeID, p *Packet)
 	nextID      uint64
 	C           *stats.Counter
-	Latency     *stats.Summary
+
+	// Latency is the default end-to-end latency sink: a retained-sample
+	// Summary with exact percentiles, which is what the paper tables
+	// depend on. Stress scenarios swap in LatencyHist instead (see
+	// Deliver) so steady-state delivery stays allocation-free and memory
+	// stays fixed no matter how many packets complete.
+	Latency *stats.Summary
+
+	// LatencyHist, when non-nil, replaces Latency as the delivery sink:
+	// fixed memory, 0 allocs per delivery, quantiles within 1%.
+	LatencyHist *telemetry.Hist
+
+	// QueueHist, when non-nil, observes the output-queue occupancy in
+	// bytes (including the packet just queued) on every accepted enqueue —
+	// the per-link queue-depth distribution of a run.
+	QueueHist *telemetry.Hist
 
 	// Integer keys into C for the per-packet counters (see stats.Key).
 	kNoLink, kDropTTL, kDropQueue, kDropRED, kDropLoss stats.Key
@@ -260,6 +285,9 @@ func (n *Net) SendOnLink(li int, p *Packet) bool {
 	}
 	ls.queue = append(ls.queue, p)
 	ls.qBytes += p.Size
+	if n.QueueHist != nil {
+		n.QueueHist.Observe(float64(ls.qBytes))
+	}
 	if !ls.busy {
 		n.startTx(li)
 	}
@@ -362,8 +390,15 @@ func (n *Net) arriveOn(li int) {
 
 // Deliver records the end-to-end latency of a packet that reached its
 // final destination. Upper layers call it once per completed journey.
+// With LatencyHist installed the steady state is allocation-free: a
+// histogram observe plus two slice increments, instead of growing the
+// Summary's retained sample by one float per delivered packet.
 func (n *Net) Deliver(p *Packet) {
-	n.Latency.Add(n.K.Now() - p.Created)
+	if n.LatencyHist != nil {
+		n.LatencyHist.Observe(n.K.Now() - p.Created)
+	} else {
+		n.Latency.Add(n.K.Now() - p.Created)
+	}
 	n.C.Add(n.kDelivered, 1)
 	n.C.Add(n.kBytes, float64(p.Size))
 }

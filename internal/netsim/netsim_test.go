@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"viator/internal/sim"
+	"viator/internal/telemetry"
 	"viator/internal/topo"
 )
 
@@ -331,6 +332,60 @@ func TestSendSteadyStateAllocations(t *testing.T) {
 	if allocs > 1 {
 		t.Fatalf("per-packet allocations = %v, want <= 1 (the packet itself)", allocs)
 	}
+}
+
+func TestDeliverSteadyStateAllocationsWithHistSink(t *testing.T) {
+	// With the telemetry histogram installed as the latency sink, Deliver
+	// is allocation-free in steady state: no retained-sample slice grows
+	// per delivered packet (the pre-telemetry Summary sink amortized an
+	// append per delivery — unbounded memory on stress scenarios).
+	k, _, n := pair()
+	n.LatencyHist = telemetry.NewHist()
+	p := n.NewPacket(0, 1, 100, "d", nil)
+	k.Run(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		n.Deliver(p)
+	})
+	if allocs != 0 {
+		t.Fatalf("Deliver with hist sink allocates %v/op, want 0", allocs)
+	}
+	if n.LatencyHist.Count() == 0 {
+		t.Fatal("hist sink recorded nothing")
+	}
+	if n.Latency.N() != 0 {
+		t.Fatalf("Summary still grew (%d) despite hist sink", n.Latency.N())
+	}
+}
+
+func TestDeliverDefaultSinkIsExactSummary(t *testing.T) {
+	// Without a hist sink, the exact-percentile Summary remains the
+	// latency sink — paper tables depend on exact order statistics.
+	k, _, n := pair()
+	n.OnReceive(func(at topo.NodeID, p *Packet) { n.Deliver(p) })
+	n.Send(0, 1, n.NewPacket(0, 1, 100, "d", nil))
+	k.Run(10)
+	if n.Latency.N() != 1 {
+		t.Fatalf("Summary sink has %d samples, want 1", n.Latency.N())
+	}
+}
+
+func TestQueueDepthHistObservesOccupancy(t *testing.T) {
+	// With a queue-depth hist installed, every accepted enqueue records
+	// the post-enqueue occupancy; the busy link's second packet must see
+	// its own bytes on top of the backlog.
+	k, _, n := pair()
+	n.SetLinkProps(0, LinkProps{Bandwidth: 1000, Delay: 0, QueueCap: 1 << 20})
+	n.QueueHist = telemetry.NewHist()
+	n.OnReceive(func(at topo.NodeID, p *Packet) {})
+	n.Send(0, 1, n.NewPacket(0, 1, 500, "a", nil)) // goes straight to the wire; depth 500 recorded at enqueue
+	n.Send(0, 1, n.NewPacket(0, 1, 300, "b", nil)) // queues behind it; depth 300 after a left the queue
+	if n.QueueHist.Count() != 2 {
+		t.Fatalf("queue hist count = %d, want 2", n.QueueHist.Count())
+	}
+	if n.QueueHist.Max() != 500 {
+		t.Fatalf("max observed depth = %v, want 500", n.QueueHist.Max())
+	}
+	k.Drain()
 }
 
 func TestDelayReconfigInFlightAllowsOvertaking(t *testing.T) {

@@ -1,6 +1,6 @@
-// Package stats provides the measurement substrate used by every Viator
-// experiment: streaming counters and summaries, histograms, time series and
-// plain-text table rendering for the benchmark harness output.
+// Package stats provides the exact measurement substrate used by every
+// Viator experiment: streaming counters and summaries, histograms, time
+// series and plain-text table rendering for the benchmark harness output.
 //
 // Two cost tiers coexist in Counter. The string-keyed API (Inc/Get) is the
 // convenient form for setup and reporting code; the integer-keyed fast path
@@ -8,6 +8,14 @@
 // what the packet substrate uses on its hot path. Both views address the
 // same underlying tallies, so a counter registered with Key is still
 // visible through Get and Names.
+//
+// Summary retains every observation, which is what makes its percentiles
+// exact — the property the paper tables depend on — at O(n) memory. For
+// unbounded streams (stress scenarios, per-flow latency at scale) the
+// sibling package telemetry provides Hist: fixed memory, allocation-free
+// observes, exact merges, and quantiles with bounded (≤ 1%) relative
+// error. Pick Summary where a table cell must be an exact order
+// statistic; pick telemetry.Hist where the stream must never grow state.
 package stats
 
 import (
@@ -33,8 +41,13 @@ func NewSummary() *Summary {
 	return &Summary{min: math.Inf(1), max: math.Inf(-1)}
 }
 
-// Add records one observation.
+// Add records one observation. NaN is ignored: a single NaN would poison
+// the running sum and make the sort order (and so every percentile)
+// unspecified, which no caller ever wants from a latency stream.
 func (s *Summary) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	s.vals = append(s.vals, v)
 	s.sum += v
 	s.sumSq += v * v
@@ -136,11 +149,17 @@ func (s *Summary) Min() float64 { return s.min }
 // Max returns the largest observation, or -Inf when empty.
 func (s *Summary) Max() float64 { return s.max }
 
-// Percentile returns the p-th percentile (p in [0,100]) using
-// nearest-rank interpolation. Empty summaries return 0.
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation between the bracketing order statistics. Edge cases are
+// pinned by tests: an empty summary returns 0, a single observation is
+// every percentile, p <= 0 and p >= 100 return the exact Min and Max,
+// and a NaN p returns NaN instead of an arbitrary element.
 func (s *Summary) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	if !s.sorted {
 		sort.Float64s(s.vals)

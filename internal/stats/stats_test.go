@@ -354,3 +354,65 @@ func TestCounterAddAllocFree(t *testing.T) {
 		t.Fatalf("Add allocates %v per op, want 0", allocs)
 	}
 }
+
+// --- Percentile edge-case hardening (previously untested behavior) ---
+
+func TestPercentileEmptySummary(t *testing.T) {
+	s := NewSummary()
+	for _, p := range []float64{0, 50, 100} {
+		if got := s.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	if s.Median() != 0 {
+		t.Fatalf("empty Median = %v", s.Median())
+	}
+}
+
+func TestPercentileSingleObservation(t *testing.T) {
+	s := NewSummary()
+	s.Add(7.5)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := s.Percentile(p); got != 7.5 {
+			t.Fatalf("single-obs Percentile(%v) = %v, want 7.5", p, got)
+		}
+	}
+}
+
+func TestPercentileExtremesAreExactMinMax(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Add(v)
+	}
+	for _, p := range []float64{0, -5, math.Inf(-1)} {
+		if got := s.Percentile(p); got != 1 {
+			t.Fatalf("Percentile(%v) = %v, want exact min 1", p, got)
+		}
+	}
+	for _, p := range []float64{100, 250, math.Inf(1)} {
+		if got := s.Percentile(p); got != 9 {
+			t.Fatalf("Percentile(%v) = %v, want exact max 9", p, got)
+		}
+	}
+}
+
+func TestPercentileNaNGuards(t *testing.T) {
+	s := NewSummary()
+	s.Add(1)
+	s.Add(2)
+	if got := s.Percentile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Percentile(NaN) = %v, want NaN", got)
+	}
+	// NaN observations are ignored: they would poison the sum and make
+	// the sort order unspecified.
+	s.Add(math.NaN())
+	if s.N() != 2 {
+		t.Fatalf("N after Add(NaN) = %d, want 2", s.N())
+	}
+	if math.IsNaN(s.Sum()) || math.IsNaN(s.Mean()) {
+		t.Fatalf("NaN leaked into sum/mean: %v/%v", s.Sum(), s.Mean())
+	}
+	if got := s.Percentile(50); got != 1.5 {
+		t.Fatalf("median after Add(NaN) = %v, want 1.5", got)
+	}
+}

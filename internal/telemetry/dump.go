@@ -1,0 +1,300 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Dump is one run's exportable telemetry: the flight recorder's series,
+// named histograms, and the QoS scorecards. It holds the live sinks (not
+// copies), so building a Dump is free and merging replicate dumps merges
+// the underlying histograms exactly.
+type Dump struct {
+	Rec   *Recorder // may be nil
+	Hists []NamedHist
+	QoS   *ScoreSet // may be nil
+}
+
+// NamedHist labels one histogram for export.
+type NamedHist struct {
+	Name string
+	H    *Hist
+}
+
+// MergeDumps pools replicate dumps into one: histograms merge bucket-wise
+// by name, scorecards merge by flow name. Recorder series are per-run
+// trajectories and do not pool; the merged dump carries none. Dumps must
+// be passed in a deterministic order (the replicate harness uses
+// replicate index order) for the float sums to be byte-stable; all
+// integer state is order-invariant regardless.
+func MergeDumps(dumps []*Dump) *Dump {
+	m := &Dump{QoS: NewScoreSet()}
+	byName := make(map[string]*Hist)
+	for _, d := range dumps {
+		if d == nil {
+			continue
+		}
+		for _, nh := range d.Hists {
+			h, ok := byName[nh.Name]
+			if !ok {
+				h = NewHist()
+				byName[nh.Name] = h
+				m.Hists = append(m.Hists, NamedHist{Name: nh.Name, H: h})
+			}
+			h.Merge(nh.H)
+		}
+		if d.QoS != nil {
+			m.QoS.MergeFrom(d.QoS)
+		}
+	}
+	return m
+}
+
+// fnum renders a float for export: shortest round-trip representation,
+// identical on every platform and invocation — the property the
+// byte-identical determinism gates lean on.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// jstr renders a JSON string literal (names here never need full
+// escaping beyond quotes and backslashes, but handle them anyway).
+func jstr(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`)
+	return `"` + r.Replace(s) + `"`
+}
+
+// WriteJSONL emits the dump as JSON-lines: one object per line, streamable
+// and grep-able. `tags` is rendered into every line verbatim (callers pass
+// pre-formatted `"exp":"S1","rep":0` style tag fragments; empty means no
+// tags). Line kinds:
+//
+//	{"kind":"series","name":…,"type":"counter|gauge","t":…,"v":…}
+//	{"kind":"rollup","name":…,"t":…,"min":…,"mean":…,"max":…}
+//	{"kind":"hist","name":…,"count":…,"mean":…,"min":…,"p50":…,"p95":…,"p99":…,"max":…}
+//	{"kind":"flow","name":…,"sent":…,"delivered":…,"ratio":…,"p50":…,"p95":…,"p99":…,"slo_pass":…}
+//
+// Output order is fixed (series in registration order, then rollups, then
+// histograms, then flows), so equal dumps produce equal bytes.
+func (d *Dump) WriteJSONL(w io.Writer, tags string) error {
+	if tags != "" {
+		tags = "," + tags
+	}
+	if d.Rec != nil {
+		for si := 0; si < d.Rec.NumSeries(); si++ {
+			name, kind := jstr(d.Rec.SeriesName(si)), d.Rec.SeriesKind(si)
+			var err error
+			d.Rec.EachSample(si, func(t, v float64) {
+				if err == nil {
+					_, err = fmt.Fprintf(w, "{\"kind\":\"series\",\"name\":%s,\"type\":\"%s\"%s,\"t\":%s,\"v\":%s}\n",
+						name, kind, tags, fnum(t), fnum(v))
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+		for si := 0; si < d.Rec.NumSeries(); si++ {
+			name := jstr(d.Rec.SeriesName(si))
+			var err error
+			d.Rec.EachRollup(si, func(r Rollup) {
+				if err == nil {
+					_, err = fmt.Fprintf(w, "{\"kind\":\"rollup\",\"name\":%s%s,\"t\":%s,\"min\":%s,\"mean\":%s,\"max\":%s}\n",
+						name, tags, fnum(r.T), fnum(r.Min), fnum(r.Mean), fnum(r.Max))
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for _, nh := range d.Hists {
+		h := nh.H
+		mn, mx := h.Min(), h.Max()
+		if h.Count() == 0 {
+			mn, mx = 0, 0
+		}
+		if _, err := fmt.Fprintf(w, "{\"kind\":\"hist\",\"name\":%s%s,\"count\":%d,\"mean\":%s,\"min\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"max\":%s}\n",
+			jstr(nh.Name), tags, h.Count(), fnum(h.Mean()), fnum(mn),
+			fnum(h.Quantile(0.50)), fnum(h.Quantile(0.95)), fnum(h.Quantile(0.99)), fnum(mx)); err != nil {
+			return err
+		}
+	}
+	if d.QoS != nil {
+		for _, r := range d.QoS.Reports() {
+			if _, err := fmt.Fprintf(w, "{\"kind\":\"flow\",\"name\":%s%s,\"sent\":%d,\"delivered\":%d,\"ratio\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"slo_pass\":%t}\n",
+				jstr(r.Name), tags, r.Sent, r.Delivered, fnum(r.DeliveryRatio),
+				fnum(r.P50), fnum(r.P95), fnum(r.P99), r.SLOPass); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a series/hist name into a Prometheus metric suffix.
+func promName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// LabeledDump pairs a dump with the pre-formatted Prometheus label
+// fragment (e.g. `exp="S1"`) applied to every one of its samples.
+type LabeledDump struct {
+	Labels string
+	D      *Dump
+}
+
+// WriteProm emits a Prometheus text-format snapshot of one dump; see
+// WriteProms, which it delegates to.
+func (d *Dump) WriteProm(w io.Writer, labels string) error {
+	return WriteProms(w, []LabeledDump{{Labels: labels, D: d}})
+}
+
+// promLabel joins a dump's label fragment with a sample's own labels
+// into the final `{...}` block (empty when both are empty).
+func promLabel(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WriteProms emits one valid Prometheus text-format snapshot covering
+// every dump: histograms as cumulative bucket series (non-empty buckets
+// only, so the line count stays bounded), flows as counters plus
+// quantile gauges, and each recorder's latest sample per series. All
+// samples of one metric family are emitted consecutively under a single
+// TYPE line — the exposition-format grouping rule — with each dump's
+// label fragment telling its samples apart, which is what lets one file
+// snapshot several experiments at once.
+func WriteProms(w io.Writer, dumps []LabeledDump) error {
+	// Histogram families, keyed by hist name in first-seen order.
+	var histNames []string
+	seen := make(map[string]bool)
+	for _, ld := range dumps {
+		for _, nh := range ld.D.Hists {
+			if !seen[nh.Name] {
+				seen[nh.Name] = true
+				histNames = append(histNames, nh.Name)
+			}
+		}
+	}
+	for _, hn := range histNames {
+		name := "viator_" + promName(hn)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, ld := range dumps {
+			for _, nh := range ld.D.Hists {
+				if nh.Name != hn {
+					continue
+				}
+				h := nh.H
+				cum := uint64(0)
+				var err error
+				h.EachBucket(func(upper float64, count uint64) {
+					cum += count
+					if err == nil {
+						_, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+							name, promLabel(ld.Labels, `le="`+fnum(upper)+`"`), cum)
+					}
+				})
+				if err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %s\n%s_count%s %d\n",
+					name, promLabel(ld.Labels, `le="+Inf"`), h.Count(),
+					name, promLabel(ld.Labels, ""), fnum(h.Sum()),
+					name, promLabel(ld.Labels, ""), h.Count()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Flow families: one pass over all dumps per family so each metric's
+	// samples stay consecutive.
+	flowInt := func(metric string, get func(FlowReport) uint64) error {
+		for _, ld := range dumps {
+			if ld.D.QoS == nil {
+				continue
+			}
+			for _, r := range ld.D.QoS.Reports() {
+				fl := `flow="` + promName(r.Name) + `"`
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", metric, promLabel(ld.Labels, fl), get(r)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := flowInt("viator_flow_sent_total", func(r FlowReport) uint64 { return r.Sent }); err != nil {
+		return err
+	}
+	if err := flowInt("viator_flow_delivered_total", func(r FlowReport) uint64 { return r.Delivered }); err != nil {
+		return err
+	}
+	for _, ld := range dumps {
+		if ld.D.QoS == nil {
+			continue
+		}
+		for _, r := range ld.D.QoS.Reports() {
+			fl := `flow="` + promName(r.Name) + `"`
+			if _, err := fmt.Fprintf(w, "viator_flow_delivery_ratio%s %s\n",
+				promLabel(ld.Labels, fl), fnum(r.DeliveryRatio)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ld := range dumps {
+		if ld.D.QoS == nil {
+			continue
+		}
+		for _, r := range ld.D.QoS.Reports() {
+			fl := `flow="` + promName(r.Name) + `"`
+			for _, qv := range [...]struct {
+				q string
+				v float64
+			}{{"0.5", r.P50}, {"0.95", r.P95}, {"0.99", r.P99}} {
+				if _, err := fmt.Fprintf(w, "viator_flow_latency_seconds%s %s\n",
+					promLabel(ld.Labels, fl+`,quantile="`+qv.q+`"`), fnum(qv.v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flowInt("viator_flow_slo_pass", func(r FlowReport) uint64 {
+		if r.SLOPass {
+			return 1
+		}
+		return 0
+	}); err != nil {
+		return err
+	}
+	for _, ld := range dumps {
+		if ld.D.Rec == nil {
+			continue
+		}
+		for si := 0; si < ld.D.Rec.NumSeries(); si++ {
+			if _, err := fmt.Fprintf(w, "viator_series_last%s %s\n",
+				promLabel(ld.Labels, `name="`+promName(ld.D.Rec.SeriesName(si))+`",type="`+ld.D.Rec.SeriesKind(si).String()+`"`),
+				fnum(ld.D.Rec.Last(si))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

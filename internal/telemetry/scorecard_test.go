@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScoreSetBasics(t *testing.T) {
+	s := NewScoreSet()
+	slo := SLO{Quantile: 0.95, MaxLatency: 0.5, MinDeliveryRatio: 0.8}
+	f := s.Flow("data", slo)
+	if again := s.Flow("data", SLO{}); again != f {
+		t.Fatalf("Flow not idempotent: %d vs %d", again, f)
+	}
+	if s.NumFlows() != 1 {
+		t.Fatalf("NumFlows = %d", s.NumFlows())
+	}
+	for i := 0; i < 10; i++ {
+		s.Sent(f)
+	}
+	for i := 0; i < 9; i++ {
+		s.Delivered(f, 0.01*float64(i+1))
+	}
+	r := s.Report(f)
+	if r.Sent != 10 || r.Delivered != 9 {
+		t.Fatalf("sent/delivered = %d/%d", r.Sent, r.Delivered)
+	}
+	if r.DeliveryRatio != 0.9 {
+		t.Fatalf("ratio = %v", r.DeliveryRatio)
+	}
+	if !(r.P50 <= r.P95 && r.P95 <= r.P99) {
+		t.Fatalf("quantiles not monotone: %v %v %v", r.P50, r.P95, r.P99)
+	}
+	if !r.SLOPass {
+		t.Fatalf("SLO should pass: %+v", r)
+	}
+}
+
+func TestScoreSetSLOFailures(t *testing.T) {
+	s := NewScoreSet()
+	f := s.Flow("slow", SLO{Quantile: 0.95, MaxLatency: 0.1, MinDeliveryRatio: 0.5})
+	for i := 0; i < 10; i++ {
+		s.Sent(f)
+		s.Delivered(f, 1.0) // all far over the latency bound
+	}
+	if r := s.Report(f); r.SLOPass {
+		t.Fatalf("latency clause should fail: %+v", r)
+	}
+
+	g := s.Flow("lossy", SLO{Quantile: 0.95, MaxLatency: 10, MinDeliveryRatio: 0.9})
+	for i := 0; i < 10; i++ {
+		s.Sent(g)
+	}
+	s.Delivered(g, 0.01)
+	if r := s.Report(g); r.SLOPass {
+		t.Fatalf("delivery-ratio clause should fail: %+v", r)
+	}
+}
+
+func TestScoreSetVacuousPass(t *testing.T) {
+	s := NewScoreSet()
+	f := s.Flow("idle", SLO{Quantile: 0.95, MaxLatency: 0.001, MinDeliveryRatio: 0.99})
+	r := s.Report(f)
+	if !r.SLOPass || r.DeliveryRatio != 1 {
+		t.Fatalf("idle flow should pass vacuously: %+v", r)
+	}
+}
+
+func TestScoreSetMerge(t *testing.T) {
+	a, b := NewScoreSet(), NewScoreSet()
+	slo := SLO{Quantile: 0.5, MaxLatency: 1}
+	fa := a.Flow("data", slo)
+	fb := b.Flow("data", slo)
+	b.Flow("extra", SLO{})
+	for i := 0; i < 5; i++ {
+		a.Sent(fa)
+		a.Delivered(fa, 0.1)
+		b.Sent(fb)
+		b.Delivered(fb, 0.3)
+	}
+	a.MergeFrom(b)
+	if a.NumFlows() != 2 {
+		t.Fatalf("merge did not register unknown flow: %d flows", a.NumFlows())
+	}
+	r := a.Report(fa)
+	if r.Sent != 10 || r.Delivered != 10 {
+		t.Fatalf("merged sent/delivered = %d/%d", r.Sent, r.Delivered)
+	}
+	if r.P50 < 0.099 || r.P50 > 0.302 {
+		t.Fatalf("merged median %v outside the pooled stream's range", r.P50)
+	}
+}
+
+func TestScoreSetHotPathAllocFree(t *testing.T) {
+	s := NewScoreSet()
+	f := s.Flow("data", SLO{})
+	lat := 0.001
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.Sent(f)
+		s.Delivered(f, lat)
+		lat *= 1.0001
+	}); allocs != 0 {
+		t.Fatalf("Sent+Delivered allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestDumpJSONLAndPromDeterministic(t *testing.T) {
+	build := func() *Dump {
+		rec := NewRecorder(8, 2)
+		v := 0.0
+		rec.Gauge("links", func() float64 { return v })
+		for i := 1; i <= 4; i++ {
+			v = float64(i * 3)
+			rec.Tick(float64(i))
+		}
+		h := NewHist()
+		for i := 0; i < 100; i++ {
+			h.Observe(0.001 * float64(i+1))
+		}
+		qos := NewScoreSet()
+		f := qos.Flow("data", SLO{Quantile: 0.95, MaxLatency: 1, MinDeliveryRatio: 0.5})
+		for i := 0; i < 10; i++ {
+			qos.Sent(f)
+			qos.Delivered(f, 0.02)
+		}
+		return &Dump{Rec: rec, Hists: []NamedHist{{Name: "latency", H: h}}, QoS: qos}
+	}
+	var a, b, pa, pb bytes.Buffer
+	if err := build().WriteJSONL(&a, `"exp":"X"`); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSONL(&b, `"exp":"X"`); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical dumps rendered different JSONL bytes")
+	}
+	if err := build().WriteProm(&pa, `exp="X"`); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteProm(&pb, `exp="X"`); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pa.Bytes(), pb.Bytes()) {
+		t.Fatal("identical dumps rendered different Prometheus bytes")
+	}
+	for _, want := range []string{`"kind":"series"`, `"kind":"rollup"`, `"kind":"hist"`, `"kind":"flow"`, `"exp":"X"`} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("JSONL missing %s:\n%s", want, a.String())
+		}
+	}
+	for _, want := range []string{"# TYPE viator_latency histogram", `le="+Inf"`, "viator_flow_slo_pass", "viator_series_last"} {
+		if !strings.Contains(pa.String(), want) {
+			t.Fatalf("Prometheus snapshot missing %s:\n%s", want, pa.String())
+		}
+	}
+}
+
+// TestWritePromsGroupsFamiliesAcrossDumps pins the exposition-format
+// grouping rule for multi-experiment snapshots: one TYPE line per
+// histogram family, and every metric's samples consecutive in the file
+// even when several labeled dumps contribute to it.
+func TestWritePromsGroupsFamiliesAcrossDumps(t *testing.T) {
+	mk := func(lat float64) *Dump {
+		h := NewHist()
+		h.Observe(lat)
+		qos := NewScoreSet()
+		f := qos.Flow("data", SLO{})
+		qos.Sent(f)
+		qos.Delivered(f, lat)
+		return &Dump{Hists: []NamedHist{{Name: "latency", H: h}}, QoS: qos}
+	}
+	var buf bytes.Buffer
+	err := WriteProms(&buf, []LabeledDump{
+		{Labels: `exp="S1"`, D: mk(0.1)},
+		{Labels: `exp="S2"`, D: mk(0.2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE viator_latency histogram"); n != 1 {
+		t.Fatalf("TYPE line emitted %d times, want exactly 1:\n%s", n, out)
+	}
+	// Each metric's lines must be consecutive: once a new metric name
+	// starts, an earlier one may not reappear.
+	var order []string
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i > 0 {
+			name = line[:i]
+		}
+		// _bucket/_sum/_count are samples of one histogram family.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suf)
+		}
+		if !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		} else if order[len(order)-1] != name {
+			t.Fatalf("metric %s reappears after %s — family samples not grouped:\n%s", name, order[len(order)-1], out)
+		}
+	}
+	for _, want := range []string{`exp="S1"`, `exp="S2"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot missing %s samples", want)
+		}
+	}
+}
+
+func TestMergeDumpsPoolsHistsAndFlows(t *testing.T) {
+	mk := func(lat float64) *Dump {
+		h := NewHist()
+		h.Observe(lat)
+		qos := NewScoreSet()
+		f := qos.Flow("data", SLO{})
+		qos.Sent(f)
+		qos.Delivered(f, lat)
+		return &Dump{Hists: []NamedHist{{Name: "latency", H: h}}, QoS: qos}
+	}
+	m := MergeDumps([]*Dump{mk(0.1), mk(0.2), nil, mk(0.3)})
+	if len(m.Hists) != 1 || m.Hists[0].H.Count() != 3 {
+		t.Fatalf("merged hists: %+v", m.Hists)
+	}
+	if m.Hists[0].H.Min() != 0.1 || m.Hists[0].H.Max() != 0.3 {
+		t.Fatalf("merged tails %v/%v", m.Hists[0].H.Min(), m.Hists[0].H.Max())
+	}
+	r := m.QoS.Report(m.QoS.Flow("data", SLO{}))
+	if r.Sent != 3 || r.Delivered != 3 {
+		t.Fatalf("merged flow: %+v", r)
+	}
+}

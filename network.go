@@ -34,6 +34,7 @@ import (
 	"viator/internal/shuttle"
 	"viator/internal/sim"
 	"viator/internal/stats"
+	"viator/internal/telemetry"
 	"viator/internal/topo"
 	"viator/internal/trace"
 	"viator/internal/vm"
@@ -92,6 +93,9 @@ type Network struct {
 
 	nextShuttleID ployon.ID
 	pulses        *sim.Ticker
+
+	// Tel is the streaming telemetry stack, nil until EnableTelemetry.
+	Tel *Telemetry
 
 	// DeliveredShuttles counts shuttles that docked at their destination;
 	// RejectedShuttles counts congruence rejections at the dock.
@@ -169,6 +173,10 @@ func (n *Network) NewShuttle(kind shuttle.Kind, src, dst int) *shuttle.Shuttle {
 }
 
 // SendShuttle launches sh from its source over the adaptive router.
+// With telemetry enabled, every network-crossing shuttle is scored on
+// its overlay's QoS flow: counted as sent here, and as delivered with
+// its end-to-end latency when its final packet lands (zero-hop src==dst
+// docks never touch the network and are not scored).
 func (n *Network) SendShuttle(sh *shuttle.Shuttle, overlay string) bool {
 	src := topo.NodeID(sh.Src)
 	dst := topo.NodeID(sh.Dst)
@@ -176,12 +184,19 @@ func (n *Network) SendShuttle(sh *shuttle.Shuttle, overlay string) bool {
 		n.dock(int(dst), sh)
 		return true
 	}
+	var flowTag int32
+	if n.Tel != nil {
+		f := n.Tel.flowFor(overlay)
+		n.Tel.QoS.Sent(f)
+		flowTag = int32(f) + 1 // 0 stays "untagged"
+	}
 	next := n.Router.NextHop(overlay, src, dst)
 	if next == -1 {
 		n.LostShuttles++
 		return false
 	}
 	pkt := n.Net.NewPacket(src, dst, sh.WireSize(), "shuttle:"+overlay, sh)
+	pkt.Flow = flowTag
 	if !n.Net.Send(src, next, pkt) {
 		n.LostShuttles++
 		return false
@@ -197,6 +212,12 @@ func (n *Network) receive(at topo.NodeID, pkt *netsim.Packet) {
 	}
 	if at == pkt.Dst {
 		n.Net.Deliver(pkt)
+		if n.Tel != nil && pkt.Flow > 0 {
+			// Network-level delivery: the shuttle reached its destination
+			// ship, whatever the dock then decides (a congruence rejection
+			// is an application outcome, not a transport failure).
+			n.Tel.QoS.Delivered(telemetry.FlowID(pkt.Flow-1), n.K.Now()-pkt.Created)
+		}
 		n.dock(int(at), sh)
 		return
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"viator/internal/telemetry"
 )
 
 // Experiment is the uniform descriptor for one paper artifact: a stable ID,
@@ -20,6 +22,11 @@ type Experiment struct {
 	Stress bool
 	Run    func(seed uint64) *Table
 	Check  func(*Table) error
+	// Telemetry, when non-nil, runs the experiment for one seed and
+	// returns its streaming-telemetry dump (recorder series, histograms,
+	// QoS scorecards) — the provider behind `viatorbench -telemetry` and
+	// Registry.CollectTelemetry.
+	Telemetry func(seed uint64) *telemetry.Dump
 }
 
 // Registry maps experiment IDs to descriptors while preserving
@@ -198,8 +205,10 @@ func DefaultRegistry() *Registry {
 	r.Register(Experiment{ID: "A4", Title: "Ablation — fact half-life (Definition 3.3)",
 		Ablation: true, Run: AblationFactHalfLife, Check: wantRows(5)})
 	r.Register(Experiment{ID: "S1", Title: "Stress — metropolis: 1000 mobile ships, churn + self-healing under load",
-		Stress: true, Run: func(s uint64) *Table { return RunS1(s).Table() }, Check: wantRows(5)})
+		Stress: true, Run: func(s uint64) *Table { return RunS1(s).Table() }, Check: wantRows(5),
+		Telemetry: func(s uint64) *telemetry.Dump { return RunS1(s).Dump }})
 	r.Register(Experiment{ID: "S2", Title: "Stress — megalopolis: 10,000 mobile ships, district traffic, churn + self-healing",
-		Stress: true, Run: func(s uint64) *Table { return RunS2(s).Table() }, Check: wantRows(5)})
+		Stress: true, Run: func(s uint64) *Table { return RunS2(s).Table() }, Check: wantRows(5),
+		Telemetry: func(s uint64) *telemetry.Dump { return RunS2(s).Dump }})
 	return r
 }

@@ -3,11 +3,13 @@ package viator
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"strconv"
 	"strings"
 
 	"viator/internal/sim"
 	"viator/internal/stats"
+	"viator/internal/telemetry"
 )
 
 // CellStat is the aggregate of one numeric table cell across replicates.
@@ -209,4 +211,117 @@ func (a *Replicated) seedList() string {
 // produced, suitable for a comment row above CSV output.
 func (a *Replicated) Provenance() string {
 	return fmt.Sprintf("%s: reps=%d baseSeed=%d seeds=%s", a.ID, a.Reps, a.BaseSeed, a.seedList())
+}
+
+// TelemetryResult is one experiment's streaming telemetry collected over
+// `Reps` independent seeds: every per-replicate dump (replicate order)
+// plus the pooled merge — histograms folded bucket-wise, scorecards
+// folded by flow — which answers quantile questions over the union of
+// all replicates' observations, not an average of averages.
+type TelemetryResult struct {
+	ID       string
+	Title    string
+	Reps     int
+	BaseSeed uint64
+	Seeds    []uint64
+	Dumps    []*telemetry.Dump
+	Merged   *telemetry.Dump
+}
+
+// CollectTelemetry runs every telemetry-capable experiment in ids (empty
+// selects all of them) for `reps` replicates fanned over `workers`
+// goroutines, and merges the per-replicate dumps. Seeds come from the
+// same per-experiment deterministic streams as RunReplicated — derived
+// before any scheduling and merged in replicate order — so the collected
+// telemetry (and every byte exported from it) is identical for any
+// worker count, and replicate i of experiment E sees the same seed a
+// table run would.
+func (r *Registry) CollectTelemetry(ids []string, reps int, baseSeed uint64, workers int) ([]*TelemetryResult, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("viator: reps = %d, want >= 1", reps)
+	}
+	exps, err := r.Resolve(ids)
+	if err != nil {
+		return nil, err
+	}
+	var capable []Experiment
+	for _, e := range exps {
+		if e.Telemetry != nil {
+			capable = append(capable, e)
+		}
+	}
+	if len(capable) == 0 {
+		return nil, fmt.Errorf("viator: no telemetry-capable experiment in the selection (the stress scenarios S1, S2 export telemetry)")
+	}
+	out := make([]*TelemetryResult, 0, len(capable))
+	for _, e := range capable {
+		res := &TelemetryResult{ID: e.ID, Title: e.Title, Reps: reps, BaseSeed: baseSeed}
+		type trial struct {
+			seed uint64
+			dump *telemetry.Dump
+		}
+		runs := sim.RunParallel(reps, replicateSeed(baseSeed, e.ID), workers, func(i int, seed uint64) trial {
+			if reps == 1 {
+				// Mirror replicateOne: a single replicate replays the base
+				// seed verbatim, so -telemetry matches `-seed N` table runs.
+				seed = baseSeed
+			}
+			return trial{seed: seed, dump: e.Telemetry(seed)}
+		})
+		for i, run := range runs {
+			if run.dump == nil {
+				return nil, fmt.Errorf("%s replicate %d (seed %d): Telemetry returned a nil dump", e.ID, i, run.seed)
+			}
+			res.Seeds = append(res.Seeds, run.seed)
+			res.Dumps = append(res.Dumps, run.dump)
+		}
+		res.Merged = telemetry.MergeDumps(res.Dumps)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CollectTelemetry is the package-level convenience over DefaultRegistry.
+func CollectTelemetry(ids []string, reps int, baseSeed uint64, workers int) ([]*TelemetryResult, error) {
+	return DefaultRegistry().CollectTelemetry(ids, reps, baseSeed, workers)
+}
+
+// WriteJSONL streams the result as JSON-lines: a provenance header, every
+// replicate's series/histogram/flow lines tagged with its replicate
+// index and seed, then the pooled cross-replicate merge tagged
+// "merged":true. Deterministic: same (ids, reps, seed) → same bytes, for
+// any worker count.
+func (tr *TelemetryResult) WriteJSONL(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "{\"kind\":\"run\",\"exp\":%q,\"reps\":%d,\"base_seed\":%d,\"seeds\":[%s]}\n",
+		tr.ID, tr.Reps, tr.BaseSeed, tr.seedList()); err != nil {
+		return err
+	}
+	for i, d := range tr.Dumps {
+		tags := fmt.Sprintf("\"exp\":%q,\"rep\":%d,\"seed\":%d", tr.ID, i, tr.Seeds[i])
+		if err := d.WriteJSONL(w, tags); err != nil {
+			return err
+		}
+	}
+	return tr.Merged.WriteJSONL(w, fmt.Sprintf("\"exp\":%q,\"merged\":true", tr.ID))
+}
+
+// WritePromSnapshot writes one valid Prometheus text-format snapshot of
+// every result's pooled cross-replicate merge: a single TYPE line per
+// metric family with all experiments' samples (told apart by their exp
+// label) grouped under it.
+func WritePromSnapshot(w io.Writer, results []*TelemetryResult) error {
+	dumps := make([]telemetry.LabeledDump, len(results))
+	for i, tr := range results {
+		dumps[i] = telemetry.LabeledDump{Labels: fmt.Sprintf("exp=%q", tr.ID), D: tr.Merged}
+	}
+	return telemetry.WriteProms(w, dumps)
+}
+
+// seedList renders the replicate seeds compactly.
+func (tr *TelemetryResult) seedList() string {
+	parts := make([]string, len(tr.Seeds))
+	for i, s := range tr.Seeds {
+		parts[i] = strconv.FormatUint(s, 10)
+	}
+	return strings.Join(parts, ",")
 }
