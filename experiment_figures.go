@@ -276,6 +276,7 @@ func bestPlacement(g *topo.Graph, sensors []topo.NodeID, sink topo.NodeID) topo.
 	}
 	best := sink
 	bestN := -1
+	//viator:maporder-safe argmax over (count, NodeID) is a strict total order, so the winner is visit-order independent
 	for n, c := range transit {
 		if c > bestN || (c == bestN && n < best) {
 			best, bestN = n, c

@@ -202,6 +202,7 @@ func (c *Community) Clusters() map[int][]ployon.ID {
 			out[m.ClusterID] = append(out[m.ClusterID], m.Ship.ID)
 		}
 	}
+	//viator:maporder-safe each iteration sorts its own member slice in place; iterations touch disjoint values and the map itself is unchanged
 	for _, ids := range out {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}

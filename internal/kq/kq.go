@@ -81,6 +81,7 @@ func (s *Store) evictWeakest(now float64) {
 	var victim FactID
 	worst := math.Inf(1)
 	// Map order is random; break activation ties by ID for determinism.
+	//viator:maporder-safe argmin over (activation, ID) is a strict total order, so the winner is visit-order independent
 	for id, f := range s.facts {
 		a := s.decayed(f, now)
 		if a < worst || (a == worst && id < victim) {
@@ -112,6 +113,7 @@ func (s *Store) Alive(id FactID, now float64) bool {
 // sorted order. Ships run this periodically (the "pulse").
 func (s *Store) Sweep(now float64) []FactID {
 	var out []FactID
+	//viator:maporder-safe per-key threshold filter (decayed is a pure read); evictions commute and out is sorted before return
 	for id, f := range s.facts {
 		if s.decayed(f, now) < s.Threshold {
 			out = append(out, id)
@@ -126,6 +128,7 @@ func (s *Store) Sweep(now float64) []FactID {
 // Facts returns the IDs of all alive facts at now, sorted.
 func (s *Store) Facts(now float64) []FactID {
 	var out []FactID
+	//viator:maporder-safe pure filter (decayed is a read-only method) collecting into out, which is sorted before return
 	for id, f := range s.facts {
 		if s.decayed(f, now) >= s.Threshold {
 			out = append(out, id)

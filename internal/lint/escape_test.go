@@ -1,0 +1,95 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viator/internal/lint"
+)
+
+// writeModule materializes a throwaway single-package module so the
+// escape check can run the real compiler against it.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func escapeDiags(t *testing.T, src string) []lint.Diagnostic {
+	t.Helper()
+	dir := writeModule(t, src)
+	_, targets, err := lint.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := lint.EscapeCheck(dir, targets)
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	return diags
+}
+
+// TestEscapeCheckCatchesAllocation is the acceptance gate from the
+// contract: deliberately breaking a //viator:noalloc function must fail
+// lint.
+func TestEscapeCheckCatchesAllocation(t *testing.T) {
+	diags := escapeDiags(t, `package scratch
+
+//viator:noalloc
+func Broken(n int) []int {
+	return make([]int, n)
+}
+`)
+	if len(diags) == 0 {
+		t.Fatal("EscapeCheck reported nothing for a noalloc function that allocates")
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Broken") && strings.Contains(d.Message, "escape analysis reports") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no diagnostic names Broken; got %v", diags)
+	}
+}
+
+// TestEscapeCheckPassesCleanFunction: an allocation-free hot loop and a
+// reasoned alloc-ok cold path both survive; an unannotated allocating
+// neighbor is not reported either (the contract is opt-in per function).
+func TestEscapeCheckPassesCleanFunction(t *testing.T) {
+	diags := escapeDiags(t, `package scratch
+
+//viator:noalloc
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//viator:noalloc
+func Grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //viator:alloc-ok amortized growth, steady state reuses buf
+	}
+	return buf[:n]
+}
+
+func unannotated(n int) []int {
+	return make([]int, n)
+}
+`)
+	if len(diags) != 0 {
+		t.Errorf("expected no diagnostics, got %v", diags)
+	}
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is the subset of `go list -json` metadata the drivers need.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+	DepsErrors []*struct{ Err string }
+	Error      *struct{ Err string }
+}
+
+// listPackages shells out to `go list -export -deps -json` for the
+// given patterns, returning all packages (targets and dependencies).
+// -export makes the build system compile everything and hand us export
+// data files, which is how the type-checker resolves imports without
+// re-checking dependencies from source.
+func listPackages(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(Package)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Targets filters the -deps closure down to the packages of the main
+// module (the ones the analyzers should run on).
+func Targets(pkgs []*Package) []*Package {
+	var out []*Package
+	for _, p := range pkgs {
+		if !p.Standard && p.Module != nil && p.Error == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Load lists, parses and type-checks the module packages matched by
+// patterns, rooted at dir. The returned packages are in go list order.
+func Load(dir string, patterns []string) ([]*LoadedPackage, []*Package, error) {
+	pkgs, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	targets := Targets(pkgs)
+	var loaded []*LoadedPackage
+	for _, p := range targets {
+		lp, err := typeCheck(p, exports)
+		if err != nil {
+			return nil, nil, err
+		}
+		loaded = append(loaded, lp)
+	}
+	return loaded, targets, nil
+}
+
+// ExportData compiles the named packages (plus dependencies) via
+// `go list -export -deps` rooted at dir and returns import path →
+// export data file. linttest uses it to type-check fixture packages
+// whose imports are all standard library.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// CheckFiles type-checks already-parsed files as a package with the
+// given import path, resolving imports through export data. This is the
+// fixture-loading path: the import path is caller-chosen, which is how
+// linttest fixtures opt in to DeterministicPackages scoping without
+// living under a real deterministic import path.
+func CheckFiles(importPath string, fset *token.FileSet, files []*ast.File, exports map[string]string) (*types.Package, *types.Info, error) {
+	imp := exportImporter(fset, exports)
+	conf := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+	info := newTypesInfo()
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return tpkg, info, nil
+}
+
+// A LoadedPackage is a type-checked package ready for analysis.
+type LoadedPackage struct {
+	Pkg   *Package
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// typeCheck parses p's GoFiles and type-checks them, resolving every
+// import through export data.
+func typeCheck(p *Package, exports map[string]string) (*LoadedPackage, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := exportImporter(fset, exports)
+	conf := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+	info := newTypesInfo()
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &LoadedPackage{Pkg: p, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// exportImporter resolves imports from export data files.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Analyze executes the analyzers over one type-checked package and
+// returns position-sorted raw diagnostics (Analyzer field filled,
+// positions resolvable through fset). linttest compares these against
+// fixture expectations; RunAnalyzers renders them for humans.
+func Analyze(fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info, path string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Path:      path,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", path, a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// RunAnalyzers executes the analyzers over one loaded package and
+// returns position-sorted diagnostics rendered with file positions.
+func RunAnalyzers(lp *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := Analyze(lp.Fset, lp.Files, lp.Types, lp.Info, lp.Pkg.ImportPath, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	// Render positions into the message so callers need no FileSet.
+	for i := range diags {
+		if diags[i].Pos.IsValid() {
+			diags[i].Message = fmt.Sprintf("%s: [%s] %s", lp.Fset.Position(diags[i].Pos), diags[i].Analyzer, diags[i].Message)
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map in deterministic packages unless
+// the loop is provably order-insensitive or carries a reasoned
+// //viator:maporder-safe annotation.
+//
+// Go randomizes map iteration order per run, so any map range whose
+// body's effect depends on visit order breaks the byte-identical
+// determinism contract. The analyzer accepts three shapes as provably
+// order-insensitive:
+//
+//  1. commutative integer accumulation: every statement is an integer
+//     ++/--/+=/|=/&=/^= (or a side-effect-free if/continue around
+//     such statements) — addition over any visit order is the same sum;
+//  2. pure set deletion: the body only delete()s keys from maps;
+//  3. collect-then-sort: the body only appends to local slices, and
+//     every such slice is later passed to a recognized total-order sort
+//     (sort.Slice/Sort/Ints/Strings/..., slices.Sort*) in the same
+//     function before the function returns.
+//
+// Anything else — including float accumulation, whose rounding is
+// order-dependent — must either be restructured (iterate a sorted key
+// slice) or annotated with a reason.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose order can leak into simulation behavior",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !IsDeterministic(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.SrcFiles() {
+		var fn *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			if d, ok := n.(*ast.FuncDecl); ok {
+				fn = d
+			}
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !typeIsMap(pass.TypesInfo.TypeOf(rng.X)) {
+				return true
+			}
+			if pass.suppressed(DirMapOrderSafe, rng.Pos()) {
+				return true
+			}
+			if orderInsensitive(pass, fn, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "range over map %s in deterministic package %s: iteration order is randomized; iterate a sorted key slice, restructure, or annotate //viator:maporder-safe <reason>",
+				exprString(rng.X), pass.Path)
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitive reports whether the range loop provably cannot leak
+// iteration order. The proof walks the body classifying every statement
+// into order-insensitive shapes; any statement outside the catalog
+// fails the proof. Collected slices additionally require a sort after
+// the loop.
+func orderInsensitive(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	keyObj := rangeKeyObject(pass, rng)
+	collectors := map[types.Object]bool{}
+	if !insensitiveBody(pass, rng.Body.List, keyObj, collectors) {
+		return false
+	}
+	if len(collectors) > 0 {
+		return fn != nil && allSortedLater(pass, fn, rng, collectors)
+	}
+	return true
+}
+
+// rangeKeyObject returns the object of `for k := range m`'s key
+// variable, or nil.
+func rangeKeyObject(pass *Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// insensitiveBody checks each statement against the catalog of
+// provably order-insensitive shapes:
+//
+//   - integer ++/--/+=/*=/|=/&=/^= accumulation (commutative);
+//   - x = append(x, ...) to a local slice (recorded in collectors; the
+//     caller requires a later sort);
+//   - delete(m, ...) with side-effect-free arguments (set semantics);
+//   - X[i] = <literal> idempotent constant stores (visited-set marking:
+//     the same value lands regardless of visit order);
+//   - m[k] = <expr> where k is the range key variable (distinct key per
+//     iteration, e.g. a map copy);
+//   - if/else-if/continue around the above, with side-effect-free
+//     conditions.
+func insensitiveBody(pass *Pass, stmts []ast.Stmt, keyObj types.Object, collectors map[types.Object]bool) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.IncDecStmt:
+			if !isInteger(pass.TypesInfo.TypeOf(s.X)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if commutativeAssign(pass, s) {
+				continue
+			}
+			if obj, ok := appendToLocal(pass, s); ok {
+				collectors[obj] = true
+				continue
+			}
+			if idempotentStore(pass, s) || keyedStore(pass, s, keyObj) {
+				continue
+			}
+			return false
+		case *ast.ExprStmt:
+			if !isDelete(pass, s.X) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || !sideEffectFree(pass, s.Cond) {
+				return false
+			}
+			if !insensitiveBody(pass, s.Body.List, keyObj, collectors) {
+				return false
+			}
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					if !insensitiveBody(pass, e.List, keyObj, collectors) {
+						return false
+					}
+				case *ast.IfStmt:
+					if !insensitiveBody(pass, []ast.Stmt{e}, keyObj, collectors) {
+						return false
+					}
+				default:
+					return false
+				}
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// idempotentStore matches `X[i] = lit` where lit is a basic literal or
+// true/false: every visit order stores the same value.
+func idempotentStore(pass *Pass, s *ast.AssignStmt) bool {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	idx, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr)
+	if !ok || !sideEffectFree(pass, idx.X) || !sideEffectFree(pass, idx.Index) {
+		return false
+	}
+	switch rhs := ast.Unparen(s.Rhs[0]).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return rhs.Name == "true" || rhs.Name == "false" || rhs.Name == "nil"
+	}
+	return false
+}
+
+// keyedStore matches `m[k] = expr` where k is exactly the range key
+// variable: each iteration writes a distinct key, so visit order cannot
+// matter.
+func keyedStore(pass *Pass, s *ast.AssignStmt, keyObj types.Object) bool {
+	if keyObj == nil || s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	idx, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr)
+	if !ok || !sideEffectFree(pass, idx.X) {
+		return false
+	}
+	key, ok := ast.Unparen(idx.Index).(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[key] != keyObj {
+		return false
+	}
+	return sideEffectFree(pass, s.Rhs[0])
+}
+
+// commutativeAssign accepts integer op-assignments whose op is
+// commutative and associative under wraparound: += *= |= &= ^=.
+func commutativeAssign(pass *Pass, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	return isInteger(pass.TypesInfo.TypeOf(s.Lhs[0])) && sideEffectFree(pass, s.Rhs[0])
+}
+
+// isDelete reports whether e is a call to the builtin delete with
+// side-effect-free arguments.
+func isDelete(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "delete" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "delete" {
+		return false
+	}
+	for _, a := range call.Args {
+		if !sideEffectFree(pass, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// sideEffectFree conservatively reports whether evaluating e cannot
+// call user code or mutate state: identifiers, selectors, literals,
+// index/arithmetic/comparison expressions, and calls to len/cap or
+// pure conversions.
+func sideEffectFree(pass *Pass, e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, isIdent := ast.Unparen(n.Fun).(*ast.Ident); isIdent {
+				if b, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB && (b.Name() == "len" || b.Name() == "cap") {
+					return true
+				}
+			}
+			// Type conversions are pure.
+			if tv, found := pass.TypesInfo.Types[n.Fun]; found && tv.IsType() {
+				return true
+			}
+			ok = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND { // taking an address may pin/escape
+				ok = false
+				return false
+			}
+		case *ast.FuncLit:
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// appendToLocal matches `x = append(x, ...)` where x is a local slice
+// variable, returning x's object.
+func appendToLocal(pass *Pass, s *ast.AssignStmt) (types.Object, bool) {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil, false
+	}
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.Uses[lhs]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[lhs]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil, false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[first] != v {
+		return nil, false
+	}
+	for _, a := range call.Args[1:] {
+		if !sideEffectFree(pass, a) {
+			return nil, false
+		}
+	}
+	return v, true
+}
+
+// sortFuncs recognizes total-order sorts by (package, function).
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Ints": true, "Strings": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// allSortedLater reports whether every collector is the argument of a
+// recognized sort call that appears after the range statement in fn.
+func allSortedLater(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, collectors map[types.Object]bool) bool {
+	sorted := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		pkg, name, ok := calleePkgFunc(pass.TypesInfo, call)
+		if !ok || !sortFuncs[pkg][name] {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && collectors[obj] {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range collectors {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

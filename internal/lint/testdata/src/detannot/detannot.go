@@ -1,0 +1,68 @@
+// Package detannot exercises the noalloc analyzer's annotation-grammar
+// validation: every malformed or drifting //viator: annotation is
+// itself a finding. Grammar diagnostics land on the annotation comment
+// line, so expectations use the offset form (// want:+1).
+package detannot
+
+// want:+1 `unknown annotation`
+//viator:nosuchdirective some text
+
+// Suppressions must carry a reason.
+func emptyReason(m map[int]int) int {
+	n := 0
+	// want:+1 `without a reason`
+	//viator:maporder-safe
+	for range m {
+		n++
+	}
+	return n
+}
+
+// noalloc is a marker, not a suppression: trailing text is an error.
+// want:+2 `takes no argument`
+//
+//viator:noalloc because it is hot
+func trailingText(x int) int { return x + 1 }
+
+// noalloc must be attached to a function declaration.
+// want:+2 `must be attached to a function declaration`
+//
+//viator:noalloc
+var notAFunc = 3
+
+// alloc-ok only means something inside a noalloc body.
+func plain() []int {
+	// want:+1 `outside a //viator:noalloc function body`
+	return make([]int, 4) //viator:alloc-ok stray annotation
+}
+
+// A maporder-safe line must govern a map range on it or the next line.
+// want:+2 `does not govern a map range`
+//
+//viator:maporder-safe stale reason left behind by a refactor
+func misplacedMapSafe() {}
+
+// A tiebreak-safe line must govern a sort call on it or the next line.
+// want:+2 `does not govern a sort call`
+//
+//viator:tiebreak-safe stale reason left behind by a refactor
+func misplacedTieSafe() {}
+
+// Valid: a noalloc function whose one cold allocation carries a
+// reasoned alloc-ok produces no grammar findings.
+//
+//viator:noalloc
+func hot(buf []int) []int {
+	if cap(buf) == 0 {
+		buf = make([]int, 0, 16) //viator:alloc-ok one-time lazy growth, steady state untouched
+	}
+	return buf[:0]
+}
+
+// Valid: a reasoned maporder-safe governing a real map range.
+func governed(m map[int]int) {
+	//viator:maporder-safe delete of the ranged key is order-independent
+	for k := range m {
+		delete(m, k)
+	}
+}

@@ -1,0 +1,99 @@
+// Package detmaporder exercises the maporder analyzer: its import path
+// is det-prefixed, so the fixture is inside the determinism contract.
+package detmaporder
+
+import "sort"
+
+// Flagged: collects into a slice but never sorts it — the result order
+// is the randomized iteration order.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Proven safe: commutative integer accumulation.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Proven safe: collect then sort with a recognized sort call.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Proven safe: delete with side-effect-free arguments.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Proven safe: keyed store — each iteration writes its own key.
+func clone(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Flagged without help: a float argmax assigns a non-key value, which
+// the proof catalog cannot show order-insensitive.
+func argmaxUnsuppressed(m map[string]float64) float64 {
+	best := -1.0
+	for _, v := range m { // want `range over map`
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Suppressed: reasoned annotation on the line above the range.
+func suppressedAbove(m map[string]float64) float64 {
+	best := -1.0
+	//viator:maporder-safe max over floats is commutative and associative, so visit order cannot change the result
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Suppressed: reasoned annotation trailing on the range line itself.
+func suppressedSameLine(m map[string]float64) float64 {
+	best := -1.0
+	for _, v := range m { //viator:maporder-safe max over floats is order-independent
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// NOT suppressed: a bare annotation with no reason never suppresses.
+func bareAnnotationDoesNotSuppress(m map[string]float64) float64 {
+	best := -1.0
+	//viator:maporder-safe
+	for _, v := range m { // want `range over map`
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,68 @@
+// Package dettiebreak exercises the tiebreak analyzer inside the
+// determinism contract (det-prefixed fixture import path).
+package dettiebreak
+
+import (
+	"slices"
+	"sort"
+)
+
+type item struct {
+	cost float64
+	id   int
+}
+
+// Flagged: single float < with no secondary key — equal costs sort in
+// input-permutation order.
+func bad(xs []item) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].cost < xs[j].cost }) // want `no tie-break`
+}
+
+// Flagged: > is just as order-dependent as <, and SliceStable does not
+// help when the input permutation itself varies.
+func badDescending(xs []item) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].cost > xs[j].cost }) // want `no tie-break`
+}
+
+// Passes: explicit integer tie-break.
+func good(xs []item) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].cost != xs[j].cost {
+			return xs[i].cost < xs[j].cost
+		}
+		return xs[i].id < xs[j].id
+	})
+}
+
+// Passes: || chain carries the tie-break.
+func goodChained(xs []item) {
+	sort.Slice(xs, func(i, j int) bool {
+		return xs[i].cost < xs[j].cost || (xs[i].cost == xs[j].cost && xs[i].id < xs[j].id)
+	})
+}
+
+// Passes: integer keys have no equal-float hazard.
+func goodInts(xs []item) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].id < xs[j].id })
+}
+
+// Passes: a three-way comparator with branches is not a lone float
+// comparison.
+func goodSortFunc(xs []item) {
+	slices.SortStableFunc(xs, func(a, b item) int {
+		switch {
+		case a.cost < b.cost:
+			return -1
+		case a.cost > b.cost:
+			return 1
+		default:
+			return a.id - b.id
+		}
+	})
+}
+
+// Suppressed: reasoned //viator:tiebreak-safe on the line above.
+func suppressed(xs []item) {
+	//viator:tiebreak-safe costs are pairwise distinct by construction (strictly increasing generator)
+	sort.Slice(xs, func(i, j int) bool { return xs[i].cost < xs[j].cost })
+}

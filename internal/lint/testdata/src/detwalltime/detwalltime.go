@@ -1,0 +1,40 @@
+// Package detwalltime exercises the walltime analyzer inside the
+// determinism contract (det-prefixed fixture import path).
+package detwalltime
+
+import (
+	"math/rand" // want `import of math/rand`
+	"os"
+	"time"
+)
+
+// Flagged: wall-clock reads.
+func clock() float64 {
+	t0 := time.Now()   // want `time\.Now in deterministic package`
+	_ = time.Since(t0) // want `time\.Since in deterministic package`
+	return float64(t0.UnixNano())
+}
+
+// Flagged: environment read.
+func env() string {
+	return os.Getenv("VIATOR_SEED") // want `os\.Getenv in deterministic package`
+}
+
+// The banned import is reported once at the import site; uses of the
+// global source are covered by that finding.
+func globalRNG() int {
+	return rand.Intn(6)
+}
+
+// Allowed: package time for duration arithmetic is fine — only the
+// wall-clock functions are banned.
+func duration() float64 {
+	d := 3 * time.Second
+	return d.Seconds()
+}
+
+// Suppressed: reasoned //viator:walltime-ok on the line above.
+func suppressedEnv() string {
+	//viator:walltime-ok diagnostics-only label, read once at startup and never fed into simulation state
+	return os.Getenv("VIATOR_LABEL")
+}

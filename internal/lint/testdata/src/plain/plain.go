@@ -1,0 +1,26 @@
+// Package plain is the out-of-scope control fixture: its import path
+// has no det prefix, so it is outside the determinism contract and the
+// scoped analyzers (maporder, walltime, tiebreak) must stay silent on
+// constructs that would all be findings in a deterministic package.
+package plain
+
+import (
+	"sort"
+	"time"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func floatSort(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

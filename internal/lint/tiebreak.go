@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// TieBreak flags sort comparators in deterministic packages whose
+// less-func orders by a single floating-point comparison with no
+// secondary key. Equal floats (link costs, EWMA utilizations, arrival
+// times) are common in practice, and sort.Slice is not stable: without
+// a total-order tie-break on a unique integer key the result depends on
+// the input permutation — exactly the Dijkstra/link-order bug class PR
+// 3 and PR 4 fixed by hand.
+//
+// The analyzer looks at sort.Slice / sort.SliceStable / slices.SortFunc
+// / slices.SortStableFunc calls whose comparator is a func literal with
+// exactly one return statement of the form `a < b` or `a > b` on
+// float-typed operands. Comparators with any second comparison (a
+// tie-break branch, a || chain, or a multi-return body) pass. Suppress
+// with //viator:tiebreak-safe <reason> (e.g. when the float values are
+// provably distinct by construction).
+var TieBreak = &Analyzer{
+	Name: "tiebreak",
+	Doc:  "flags float-only sort comparators with no deterministic tie-break",
+	Run:  runTieBreak,
+}
+
+var comparatorArg = map[string]map[string]int{
+	"sort":   {"Slice": 1, "SliceStable": 1},
+	"slices": {"SortFunc": 1, "SortStableFunc": 1},
+}
+
+func runTieBreak(pass *Pass) error {
+	if !IsDeterministic(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.SrcFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := calleePkgFunc(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			argIdx, isSort := comparatorArg[pkg][name]
+			if !isSort || len(call.Args) <= argIdx {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[argIdx]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !floatOnlyComparator(pass, lit) {
+				return true
+			}
+			if pass.suppressed(DirTieBreakSafe, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s comparator in deterministic package %s orders by a single float comparison with no tie-break: equal values sort nondeterministically; add a secondary integer key or annotate //viator:tiebreak-safe <reason>",
+				pkg, name, pass.Path)
+			return true
+		})
+	}
+	return nil
+}
+
+// floatOnlyComparator reports whether the func literal's body is
+// exactly one return of a single float < / > comparison.
+func floatOnlyComparator(pass *Pass, lit *ast.FuncLit) bool {
+	if len(lit.Body.List) != 1 {
+		return false
+	}
+	ret, ok := lit.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	bin, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.LSS && bin.Op != token.GTR) {
+		return false
+	}
+	// Any nested comparison inside the operands (e.g. a || chain) means
+	// the author wrote a tie-break; only a lone float compare is flagged.
+	return isFloat(pass.TypesInfo.TypeOf(bin.X)) && isFloat(pass.TypesInfo.TypeOf(bin.Y))
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+)
+
+// This file implements the command-line protocol `go vet -vettool=...`
+// requires of an external vet tool, compatibly with
+// golang.org/x/tools/go/analysis/unitchecker (which we cannot import —
+// the build is offline and stdlib-only):
+//
+//	viatorlint -V=full     describe the executable for build caching
+//	viatorlint -flags      describe supported flags as JSON
+//	viatorlint foo.cfg     analyze one compilation unit
+//
+// The .cfg file is JSON describing the unit: its Go files, the import
+// map, and export-data files for every dependency. The tool parses and
+// type-checks the unit, runs the suite, prints findings to stderr as
+// file:line:col: [analyzer] message, and exits 1 if there were any. The
+// suite carries no cross-package facts, so the fact output file (which
+// the build system expects to exist) is written empty.
+
+// vetConfig mirrors unitchecker.Config (the subset we consume).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetUnitMain handles one vet-protocol invocation. progname is
+// os.Args[0]; arg is the single positional argument (the .cfg path).
+// It never returns: it exits with the protocol's status code.
+func VetUnitMain(progname, arg string, analyzers []*Analyzer) {
+	diags, err := runVetUnit(arg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func runVetUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgPath, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The build system always expects the fact-output file; the suite
+	// has no facts, so write it empty up front.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("failed to write facts file: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := exportImporter(fset, cfg.PackageFile)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImp.Import(path)
+	})
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Path:      cfg.ImportPath,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			d.Message = fmt.Sprintf("%s: [%s] %s", fset.Position(d.Pos), name, d.Message)
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Message < diags[j].Message })
+	return diags, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// PrintVersion implements -V=full: the build system hashes the
+// executable into its cache key so a rebuilt tool invalidates cached
+// vet results.
+func PrintVersion(w io.Writer) error {
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s version devel viatorlint buildID=%02x\n", progname, string(h.Sum(nil)))
+	return err
+}
+
+// PrintFlags implements -flags: the JSON flag inventory go vet consults
+// before forwarding user flags to the tool.
+func PrintFlags(w io.Writer, analyzers []*Analyzer) error {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{"V", true, "print version and exit"},
+		{"flags", true, "print analyzer flags in JSON"},
+	}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{a.Name, true, "enable " + a.Name + " analysis"})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

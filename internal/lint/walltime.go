@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallTime forbids wall-clock reads, the global math/rand source, and
+// environment reads inside deterministic packages. Simulation time is
+// the kernel's float64 clock and all randomness must be seed-derived
+// sim.RNG plumbed through the kernel; a single time.Now or rand.Intn in
+// a principle engine silently breaks replicate byte-identity.
+//
+// Flagged:
+//   - any import of math/rand or math/rand/v2 (even rand.New over a
+//     fixed seed: the kernel RNG is the one sanctioned source, and the
+//     global functions are one typo away once the import exists);
+//   - calls to the wall-clock functions of package time (Now, Since,
+//     Until, After, Tick, NewTimer, NewTicker, AfterFunc, Sleep);
+//   - environment reads: os.Getenv, os.LookupEnv, os.Environ,
+//     os.ExpandEnv, syscall.Getenv.
+//
+// Importing package time for Duration arithmetic is allowed. Suppress a
+// call site with //viator:walltime-ok <reason>.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbids wall clock, global RNG and env reads in deterministic packages",
+	Run:  runWallTime,
+}
+
+var bannedImports = map[string]string{
+	"math/rand":    "global RNG breaks seed-derived determinism; use sim.RNG",
+	"math/rand/v2": "global RNG breaks seed-derived determinism; use sim.RNG",
+}
+
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now": "wall clock", "Since": "wall clock", "Until": "wall clock",
+		"After": "wall clock", "Tick": "wall clock", "NewTimer": "wall clock",
+		"NewTicker": "wall clock", "AfterFunc": "wall clock", "Sleep": "wall clock",
+	},
+	"os": {
+		"Getenv": "environment read", "LookupEnv": "environment read",
+		"Environ": "environment read", "ExpandEnv": "environment read",
+	},
+	"syscall": {
+		"Getenv": "environment read", "Environ": "environment read",
+	},
+}
+
+func runWallTime(pass *Pass) error {
+	if !IsDeterministic(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.SrcFiles() {
+		for _, imp := range f.Imports {
+			path := imp.Path.Value
+			path = path[1 : len(path)-1] // unquote
+			if why, bad := bannedImports[path]; bad && !pass.suppressed(DirWallTimeOK, imp.Pos()) {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package %s: %s", path, pass.Path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := calleePkgFunc(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			why, bad := bannedCalls[pkg][name]
+			if !bad || pass.suppressed(DirWallTimeOK, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s in deterministic package %s: %s leaks nondeterminism into the kernel; use sim time / seed-derived RNG, or annotate //viator:walltime-ok <reason>",
+				pkg, name, pass.Path, why)
+			return true
+		})
+	}
+	return nil
+}

@@ -141,6 +141,7 @@ func OutstandingNetworks(ships []*ship.Ship) map[roles.Kind][]int {
 		}
 		out[s.ModalRole()] = append(out[s.ModalRole()], i)
 	}
+	//viator:maporder-safe each iteration sorts its own index slice in place; iterations touch disjoint values and the map itself is unchanged
 	for _, idx := range out {
 		sort.Ints(idx)
 	}

@@ -133,6 +133,8 @@ func (m *RandomWaypoint) Step(dt float64) []topo.Point {
 }
 
 // StepInto advances every node by dt seconds into a caller-owned buffer.
+//
+//viator:noalloc
 func (m *RandomWaypoint) StepInto(dst []topo.Point, dt float64) []topo.Point {
 	m.advance(dt)
 	return append(dst[:0], m.pos...)
@@ -209,6 +211,8 @@ func (m *RandomWalk) Step(dt float64) []topo.Point {
 }
 
 // StepInto advances every walker by dt seconds into a caller-owned buffer.
+//
+//viator:noalloc
 func (m *RandomWalk) StepInto(dst []topo.Point, dt float64) []topo.Point {
 	m.advance(dt)
 	return append(dst[:0], m.pos...)
@@ -260,6 +264,8 @@ func (g *Group) Step(dt float64) []topo.Point {
 }
 
 // StepInto advances the group by dt seconds into a caller-owned buffer.
+//
+//viator:noalloc
 func (g *Group) StepInto(dst []topo.Point, dt float64) []topo.Point {
 	g.advance(dt)
 	return append(dst[:0], g.pos...)
@@ -644,6 +650,8 @@ func (s *ConnScratch) reconcileAll(g *topo.Graph) int {
 //
 // Returns the directed up-link count after the refresh. Steady-state
 // calls allocate nothing.
+//
+//viator:noalloc
 func (s *ConnScratch) RefreshInto(g *topo.Graph, pos []topo.Point, radius float64) int {
 	if !s.seeded || len(s.prevStart) != g.N()+1 {
 		// First refresh, or the node set changed: no usable baseline.
@@ -652,8 +660,8 @@ func (s *ConnScratch) RefreshInto(g *topo.Graph, pos []topo.Point, radius float6
 	setPositions(g, pos)
 	n := g.N()
 	s.gatherCur(pos[:n], radius)
-	s.mark = resize(s.mark, n)
-	s.markIdx = resize(s.markIdx, n)
+	s.mark = resize(s.mark, n)       //viator:alloc-ok amortized scratch growth when the fleet grows; steady state untouched
+	s.markIdx = resize(s.markIdx, n) //viator:alloc-ok amortized scratch growth when the fleet grows; steady state untouched
 	mark, markIdx := s.mark, s.markIdx
 	prevNbr, prevAB, prevBA := s.prevNbr, s.prevAB, s.prevBA
 	curNbr, curDist := s.curNbr, s.curDist

@@ -3,6 +3,7 @@ package mobility
 import (
 	"testing"
 	"testing/quick"
+	"viator/internal/allocpin"
 
 	"viator/internal/sim"
 	"viator/internal/topo"
@@ -311,13 +312,10 @@ func TestRefreshIntoAllocFree(t *testing.T) {
 	pos = m.StepInto(pos, 1)
 	s.GridRefresh(g, pos, 1e9)
 	s.RefreshInto(g, pos, 30)
-	allocs := testing.AllocsPerRun(20, func() {
+	allocpin.Zero(t, 20, func() {
 		pos = m.StepInto(pos, 0.5)
 		s.RefreshInto(g, pos, 30)
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state mobility step allocates %v/op, want 0", allocs)
-	}
+	}, "(*RandomWaypoint).StepInto", "(*ConnScratch).RefreshInto")
 }
 
 // TestStepIntoMatchesStep pins that StepInto is Step plus a copy: two

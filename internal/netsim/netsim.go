@@ -237,6 +237,8 @@ func (n *Net) NewPacket(src, dst topo.NodeID, size int, class string, payload an
 
 // Send transmits p over the first up link from→to. It returns false when
 // no such link exists or the packet was dropped at enqueue.
+//
+//viator:noalloc
 func (n *Net) Send(from, to topo.NodeID, p *Packet) bool {
 	li := n.G.FindLink(from, to)
 	if li == -1 {
@@ -257,6 +259,8 @@ func (n *Net) Send(from, to topo.NodeID, p *Packet) bool {
 // the link is busy, an oversize packet is tail-dropped like any other
 // overflow instead of slipping past the cap, and RED never fires for it
 // only because a zero-occupancy queue is by definition below REDMin.
+//
+//viator:noalloc
 func (n *Net) SendOnLink(li int, p *Packet) bool {
 	n.ensureLinks()
 	if p.TTL <= 0 {
@@ -298,6 +302,8 @@ func (n *Net) SendOnLink(li int, p *Packet) bool {
 // serialization time, decides loss up front (so the RNG draw order is
 // fixed at launch), records the in-flight packet and re-arms the link's
 // two persistent callbacks.
+//
+//viator:noalloc
 func (n *Net) startTx(li int) {
 	ls := &n.links[li]
 	if ls.qHead == len(ls.queue) {
@@ -342,6 +348,8 @@ func (n *Net) startTx(li int) {
 // In the steady state arrivals are in launch order and this pops the FIFO
 // head; only after a mid-flight Delay reconfiguration does it scan the
 // window for the earliest record.
+//
+//viator:noalloc
 func (n *Net) arriveOn(li int) {
 	ls := &n.links[li]
 	best := ls.ifHead
@@ -393,6 +401,8 @@ func (n *Net) arriveOn(li int) {
 // With LatencyHist installed the steady state is allocation-free: a
 // histogram observe plus two slice increments, instead of growing the
 // Summary's retained sample by one float per delivered packet.
+//
+//viator:noalloc
 func (n *Net) Deliver(p *Packet) {
 	if n.LatencyHist != nil {
 		n.LatencyHist.Observe(n.K.Now() - p.Created)
@@ -409,6 +419,8 @@ func (n *Net) Deliver(p *Packet) {
 // is the one failure only the routing layer can see, and recording it
 // keeps the end-to-end invariant that every injected packet lands in
 // exactly one of Deliver or a drop counter.
+//
+//viator:noalloc
 func (n *Net) Drop(p *Packet) {
 	n.DroppedRoute++
 	n.C.Add(n.kDropRoute, 1)

@@ -3,6 +3,7 @@ package netsim
 import (
 	"math"
 	"testing"
+	"viator/internal/allocpin"
 
 	"viator/internal/sim"
 	"viator/internal/telemetry"
@@ -325,13 +326,10 @@ func TestSendSteadyStateAllocations(t *testing.T) {
 		n.Send(0, 1, n.NewPacket(0, 1, 100, "w", nil))
 	}
 	k.Drain()
-	allocs := testing.AllocsPerRun(500, func() {
+	allocpin.Max(t, 500, 1, func() {
 		n.Send(0, 1, n.NewPacket(0, 1, 100, "d", nil))
 		k.Drain()
 	})
-	if allocs > 1 {
-		t.Fatalf("per-packet allocations = %v, want <= 1 (the packet itself)", allocs)
-	}
 }
 
 func TestDeliverSteadyStateAllocationsWithHistSink(t *testing.T) {
@@ -343,12 +341,9 @@ func TestDeliverSteadyStateAllocationsWithHistSink(t *testing.T) {
 	n.LatencyHist = telemetry.NewHist()
 	p := n.NewPacket(0, 1, 100, "d", nil)
 	k.Run(1)
-	allocs := testing.AllocsPerRun(1000, func() {
+	allocpin.Zero(t, 1000, func() {
 		n.Deliver(p)
-	})
-	if allocs != 0 {
-		t.Fatalf("Deliver with hist sink allocates %v/op, want 0", allocs)
-	}
+	}, "(*Net).Deliver")
 	if n.LatencyHist.Count() == 0 {
 		t.Fatal("hist sink recorded nothing")
 	}

@@ -155,11 +155,16 @@ func (e *EE) HostIDs() []int64 {
 // register file is readable from the returned machine.
 func (e *EE) Execute(p vm.Program, regs map[int]int64) (result int64, m *vm.Machine, err error) {
 	m = vm.NewMachine(p, e.GasLimit)
-	for id, fn := range e.hosts {
-		m.Bind(id, fn)
+	for _, id := range e.ids {
+		m.Bind(id, e.hosts[id])
 	}
-	for i, v := range regs {
-		m.SetReg(i, v)
+	ris := make([]int, 0, len(regs))
+	for i := range regs {
+		ris = append(ris, i)
+	}
+	sort.Ints(ris)
+	for _, i := range ris {
+		m.SetReg(i, regs[i])
 	}
 	result, err = m.Run()
 	e.GasUsed += m.GasUsed()

@@ -109,6 +109,7 @@ func resonantName(p pair) string {
 // what it has learned).
 func (e *Engine) Emerge() []kq.NetFunction {
 	var out []kq.NetFunction
+	//viator:maporder-safe each resonant pair inserts its own distinct emerged key (Correlation is a pure read); out is sorted by name before return
 	for p, cnt := range e.pairCount {
 		if cnt < e.cfg.MinSupport {
 			continue

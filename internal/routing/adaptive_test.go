@@ -2,6 +2,7 @@ package routing
 
 import (
 	"testing"
+	"viator/internal/allocpin"
 
 	"viator/internal/sim"
 	"viator/internal/topo"
@@ -171,13 +172,11 @@ func TestAdaptiveNextHopAllocationFree(t *testing.T) {
 	a.Pulse()
 	a.Rebuild()
 	dst := topo.NodeID(g.N() - 1)
-	if allocs := testing.AllocsPerRun(200, func() {
+	allocpin.Zero(t, 200, func() {
 		a.NextHop("", 0, dst)
 		a.NextHop("qos", 1, dst)
 		a.NextHop("nosuch", 2, dst) // fallback path included
-	}); allocs != 0 {
-		t.Fatalf("NextHop allocates %v per op", allocs)
-	}
+	}, "(*Adaptive).NextHop")
 }
 
 // TestLazyBuildsCountSparseTraffic checks that a post-invalidation pulse

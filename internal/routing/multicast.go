@@ -43,6 +43,7 @@ func BuildMulticastTree(g *topo.Graph, src topo.NodeID, receivers []topo.NodeID)
 			}
 		}
 	}
+	//viator:maporder-safe each iteration sorts its own child slice in place; iterations touch disjoint values and the map itself is unchanged
 	for _, kids := range tree.Children {
 		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
 	}

@@ -237,6 +237,7 @@ func (a *AODV) valid(path []topo.NodeID) bool {
 // InvalidateNode drops all cached routes through the given node (route
 // error propagation after a ship dies or moves away).
 func (a *AODV) InvalidateNode(n topo.NodeID) {
+	//viator:maporder-safe per-key filter deleting from the ranged map; keep/drop is decided per entry with no cross-iteration state
 	for key, path := range a.cache {
 		for _, hop := range path {
 			if hop == n {
@@ -553,6 +554,8 @@ func (a *Adaptive) rebuildOverlay(o *overlay) {
 // default overlay. It returns -1 when dst is unreachable. The overlay's
 // table for src is built on first use after an invalidation, so callers
 // touching few sources never pay the all-pairs cost.
+//
+//viator:noalloc
 func (a *Adaptive) NextHop(overlay string, src, dst topo.NodeID) topo.NodeID {
 	if src == dst {
 		return dst

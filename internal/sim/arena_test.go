@@ -3,6 +3,7 @@ package sim
 import (
 	"sort"
 	"testing"
+	"viator/internal/allocpin"
 )
 
 // refEvent mirrors one scheduled event for the reference queue: the naive
@@ -177,13 +178,10 @@ func TestArenaSteadyStateAllocFree(t *testing.T) {
 		k.After(1, fn)
 	}
 	k.Drain()
-	allocs := testing.AllocsPerRun(1000, func() {
+	allocpin.Zero(t, 1000, func() {
 		k.After(1, fn)
 		k.Run(k.Now() + 2)
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state schedule/fire allocates %v per op, want 0", allocs)
-	}
+	}, "(*Kernel).After", "(*Kernel).Run")
 }
 
 // TestArenaPendingCountsCancelled documents that Pending includes

@@ -104,12 +104,14 @@ func (k *Kernel) Pending() int { return len(k.heap) }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug and silently clamping would hide it.
+//
+//viator:noalloc
 func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now)) //viator:alloc-ok panic path: scheduling in the past is a model bug, never taken in a valid run
 	}
 	if math.IsNaN(t) {
-		panic("sim: schedule at NaN")
+		panic("sim: schedule at NaN") //viator:alloc-ok panic path: NaN time is a model bug, never taken in a valid run
 	}
 	var id int32
 	if n := len(k.free); n > 0 {
@@ -128,6 +130,8 @@ func (k *Kernel) At(t Time, fn func()) Event {
 }
 
 // After schedules fn delay seconds from now.
+//
+//viator:noalloc
 func (k *Kernel) After(delay Time, fn func()) Event {
 	return k.At(k.now+delay, fn)
 }
@@ -138,6 +142,8 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Run executes events in timestamp order until the queue drains, the
 // horizon passes, or Stop is called. It returns the number of events fired
 // during this call.
+//
+//viator:noalloc
 func (k *Kernel) Run(until Time) uint64 {
 	k.stopped = false
 	start := k.fired
@@ -165,6 +171,8 @@ func (k *Kernel) Run(until Time) uint64 {
 
 // release returns a fired or expired slot to the free list. The generation
 // bump invalidates every outstanding handle to it.
+//
+//viator:noalloc
 func (k *Kernel) release(id int32) {
 	s := &k.slots[id]
 	s.fn = nil
@@ -174,6 +182,8 @@ func (k *Kernel) release(id int32) {
 
 // less orders heap entries by (timestamp, scheduling sequence) — the FIFO
 // tie-break that makes equal-time trajectories deterministic.
+//
+//viator:noalloc
 func (k *Kernel) less(a, b int32) bool {
 	sa, sb := &k.slots[a], &k.slots[b]
 	if sa.at != sb.at {
@@ -182,6 +192,7 @@ func (k *Kernel) less(a, b int32) bool {
 	return sa.seq < sb.seq
 }
 
+//viator:noalloc
 func (k *Kernel) siftUp(i int) {
 	h := k.heap
 	for i > 0 {
@@ -194,6 +205,7 @@ func (k *Kernel) siftUp(i int) {
 	}
 }
 
+//viator:noalloc
 func (k *Kernel) popRoot() {
 	h := k.heap
 	n := len(h) - 1
@@ -204,6 +216,7 @@ func (k *Kernel) popRoot() {
 	}
 }
 
+//viator:noalloc
 func (k *Kernel) siftDown(i int) {
 	h := k.heap
 	n := len(h)

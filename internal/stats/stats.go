@@ -225,6 +225,8 @@ func (c *Counter) Key(name string) Key {
 
 // Add adds delta to the counter behind k — the allocation-free, map-free
 // fast path for per-packet accounting.
+//
+//viator:noalloc
 func (c *Counter) Add(k Key, delta float64) { c.vals[k] += delta }
 
 // Inc adds delta to the named counter, creating it on first use.

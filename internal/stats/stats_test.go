@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"viator/internal/allocpin"
 )
 
 func TestSummaryBasics(t *testing.T) {
@@ -349,10 +350,7 @@ func TestCounterFastPath(t *testing.T) {
 func TestCounterAddAllocFree(t *testing.T) {
 	c := NewCounter()
 	k := c.Key("hot")
-	allocs := testing.AllocsPerRun(1000, func() { c.Add(k, 1) })
-	if allocs != 0 {
-		t.Fatalf("Add allocates %v per op, want 0", allocs)
-	}
+	allocpin.Zero(t, 1000, func() { c.Add(k, 1) }, "(*Counter).Add")
 }
 
 // --- Percentile edge-case hardening (previously untested behavior) ---

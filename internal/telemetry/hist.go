@@ -102,6 +102,8 @@ func bucketBounds(i int) (lo, w float64) {
 // counted in Dropped and otherwise ignored (any of them would poison the
 // running sum or the exported min/max); zero is tracked exactly.
 // 0 allocs/op.
+//
+//viator:noalloc
 func (h *Hist) Observe(v float64) {
 	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 		h.dropped++
@@ -155,6 +157,8 @@ func (h *Hist) Max() float64 { return h.max }
 // histograms return 0; NaN q returns NaN. Deterministic: the same bucket
 // state always yields the same answer, regardless of the observation or
 // merge order that produced it.
+//
+//viator:noalloc
 func (h *Hist) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -222,6 +226,8 @@ func (h *Hist) orderStat(rank uint64) float64 {
 // the concatenated stream's sum only up to addition order (all integer
 // state — Count, bucket counts, zeros, dropped — and Min/Max are exact
 // and merge-order invariant).
+//
+//viator:noalloc
 func (h *Hist) Merge(o *Hist) {
 	for i := 0; i < histBuckets; i++ {
 		h.counts[i] += o.counts[i]

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"testing"
+	"viator/internal/allocpin"
 
 	"viator/internal/sim"
 	"viator/internal/stats"
@@ -257,20 +258,14 @@ func TestHistEachBucketCumulative(t *testing.T) {
 func TestHistObserveAndQuantileAllocFree(t *testing.T) {
 	h := NewHist()
 	v := 0.0012
-	if allocs := testing.AllocsPerRun(1000, func() {
+	allocpin.Zero(t, 1000, func() {
 		h.Observe(v)
 		v *= 1.0001
-	}); allocs != 0 {
-		t.Fatalf("Observe allocates %v/op, want 0", allocs)
-	}
-	if allocs := testing.AllocsPerRun(100, func() {
+	}, "(*Hist).Observe")
+	allocpin.Zero(t, 100, func() {
 		_ = h.Quantile(0.95)
-	}); allocs != 0 {
-		t.Fatalf("Quantile allocates %v/op, want 0", allocs)
-	}
-	if allocs := testing.AllocsPerRun(100, func() {
+	}, "(*Hist).Quantile")
+	allocpin.Zero(t, 100, func() {
 		h.Merge(h)
-	}); allocs != 0 {
-		t.Fatalf("Merge allocates %v/op, want 0", allocs)
-	}
+	}, "(*Hist).Merge")
 }

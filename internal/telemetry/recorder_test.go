@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"testing"
+	"viator/internal/allocpin"
 )
 
 func TestRecorderGaugeAndCounter(t *testing.T) {
@@ -132,13 +133,11 @@ func TestRecorderTickAllocFree(t *testing.T) {
 		}
 	}
 	now := 0.0
-	if allocs := testing.AllocsPerRun(500, func() {
+	allocpin.Zero(t, 500, func() {
 		now++
 		x = math.Sqrt(now)
 		r.Tick(now)
-	}); allocs != 0 {
-		t.Fatalf("Tick allocates %v/op, want 0", allocs)
-	}
+	}, "(*Recorder).Tick")
 }
 
 func TestRecorderRegisterAfterTickPanics(t *testing.T) {

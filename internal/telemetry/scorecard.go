@@ -56,10 +56,14 @@ func (s *ScoreSet) Flow(name string, slo SLO) FlowID {
 func (s *ScoreSet) NumFlows() int { return len(s.flows) }
 
 // Sent records one unit launched on flow f. 0 allocs/op.
+//
+//viator:noalloc
 func (s *ScoreSet) Sent(f FlowID) { s.flows[f].sent++ }
 
 // Delivered records one unit of flow f delivered after `latency`
 // seconds. 0 allocs/op.
+//
+//viator:noalloc
 func (s *ScoreSet) Delivered(f FlowID, latency float64) {
 	fs := &s.flows[f]
 	fs.delivered++

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"viator/internal/allocpin"
 )
 
 func TestScoreSetBasics(t *testing.T) {
@@ -96,13 +97,11 @@ func TestScoreSetHotPathAllocFree(t *testing.T) {
 	s := NewScoreSet()
 	f := s.Flow("data", SLO{})
 	lat := 0.001
-	if allocs := testing.AllocsPerRun(1000, func() {
+	allocpin.Zero(t, 1000, func() {
 		s.Sent(f)
 		s.Delivered(f, lat)
 		lat *= 1.0001
-	}); allocs != 0 {
-		t.Fatalf("Sent+Delivered allocates %v/op, want 0", allocs)
-	}
+	}, "(*ScoreSet).Sent", "(*ScoreSet).Delivered")
 }
 
 func TestDumpJSONLAndPromDeterministic(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 	"testing"
+	"viator/internal/allocpin"
 
 	"viator/internal/sim"
 )
@@ -219,15 +220,9 @@ func TestComputeIntoAllocationFree(t *testing.T) {
 	g.ComputeInto(sc, spt, 0)
 	var ov CostOverlay
 	g.CaptureInto(&ov, func(li int) float64 { return g.Link(li).Cost })
-	if a := testing.AllocsPerRun(50, func() { g.ComputeInto(sc, spt, 3) }); a != 0 {
-		t.Fatalf("ComputeInto allocates %v per op", a)
-	}
-	if a := testing.AllocsPerRun(50, func() { ov.ComputeOverlayInto(sc, spt, 5) }); a != 0 {
-		t.Fatalf("ComputeOverlayInto allocates %v per op", a)
-	}
-	if a := testing.AllocsPerRun(50, func() { g.CaptureInto(&ov, func(li int) float64 { return 1 }) }); a != 0 {
-		t.Fatalf("CaptureInto allocates %v per op", a)
-	}
+	allocpin.Zero(t, 50, func() { g.ComputeInto(sc, spt, 3) }, "(*Graph).ComputeInto")
+	allocpin.Zero(t, 50, func() { ov.ComputeOverlayInto(sc, spt, 5) }, "(*CostOverlay).ComputeOverlayInto")
+	allocpin.Zero(t, 50, func() { g.CaptureInto(&ov, func(li int) float64 { return 1 }) }, "(*Graph).CaptureInto")
 }
 
 // TestNextHopAllocationFree pins the forwarding-path lookup at 0
@@ -240,9 +235,7 @@ func TestNextHopAllocationFree(t *testing.T) {
 	if spt.NextHop(dst) == -1 {
 		t.Fatal("expected a route in a connected graph")
 	}
-	if a := testing.AllocsPerRun(100, func() { spt.NextHop(dst) }); a != 0 {
-		t.Fatalf("NextHop allocates %v per op", a)
-	}
+	allocpin.Zero(t, 100, func() { spt.NextHop(dst) }, "(*SPT).NextHop")
 }
 
 func TestBFSInto(t *testing.T) {

@@ -303,6 +303,8 @@ func (g *Graph) DijkstraCosts(src NodeID, costs []float64) *SPT {
 // Once both have grown to the graph size, repeated computations are
 // allocation-free. Either may be nil, in which case it is allocated.
 // It returns t for convenience.
+//
+//viator:noalloc
 func (g *Graph) ComputeInto(sc *SPTScratch, t *SPT, src NodeID) *SPT {
 	return g.computeInto(sc, t, src, nil, false)
 }
@@ -337,10 +339,12 @@ func (o *CostOverlay) N() int { return o.n }
 // costOf(li). Negative costs panic here, at capture time — the same
 // pulse-step timing at which the pre-overlay design ran Dijkstra and
 // panicked. Down links are excluded entirely.
+//
+//viator:noalloc
 func (g *Graph) CaptureInto(o *CostOverlay, costOf func(li int) float64) {
 	n := g.n
 	o.n = n
-	o.start = resize(o.start, n+1)
+	o.start = resize(o.start, n+1) //viator:alloc-ok amortized capacity growth; steady-state capture reuses the overlay and allocates nothing
 	o.to = o.to[:0]
 	o.cost = o.cost[:0]
 	for u := 0; u < n; u++ {
@@ -352,7 +356,7 @@ func (g *Graph) CaptureInto(o *CostOverlay, costOf func(li int) float64) {
 			}
 			c := costOf(li)
 			if c < 0 {
-				panic("topo: negative link cost")
+				panic("topo: negative link cost") //viator:alloc-ok panic path: negative cost is a model bug, never taken in a valid run
 			}
 			o.to = append(o.to, l.To)
 			o.cost = append(o.cost, c)
@@ -367,24 +371,26 @@ func (g *Graph) CaptureInto(o *CostOverlay, costOf func(li int) float64) {
 // exactly as captured. Relaxation order equals capture-time adjacency
 // order, so the tree — including every equal-cost tie-break — is
 // identical to Dijkstra run at capture time.
+//
+//viator:noalloc
 func (o *CostOverlay) ComputeOverlayInto(sc *SPTScratch, t *SPT, src NodeID) *SPT {
 	if sc == nil {
 		sc = &SPTScratch{}
 	}
 	if t == nil {
-		t = &SPT{}
+		t = &SPT{} //viator:alloc-ok nil-target convenience path; hot callers pass a reusable *SPT
 	}
 	n := o.n
 	t.Source = src
-	t.Dist = resize(t.Dist, n)
-	t.Prev = resize(t.Prev, n)
-	t.next = resize(t.next, n)
+	t.Dist = resize(t.Dist, n) //viator:alloc-ok amortized capacity growth when n grows; steady state untouched
+	t.Prev = resize(t.Prev, n) //viator:alloc-ok amortized capacity growth when n grows; steady state untouched
+	t.next = resize(t.next, n) //viator:alloc-ok amortized capacity growth when n grows; steady state untouched
 	for i := 0; i < n; i++ {
 		t.Dist[i] = math.Inf(1)
 		t.Prev[i] = -1
 		t.next[i] = -1
 	}
-	sc.done = resize(sc.done, n)
+	sc.done = resize(sc.done, n) //viator:alloc-ok amortized capacity growth when n grows; steady state untouched
 	for i := range sc.done {
 		sc.done[i] = false
 	}
@@ -524,6 +530,8 @@ func (t *SPT) PathTo(dst NodeID) []NodeID {
 // during the Dijkstra run, so this is an O(1) array read on the
 // forwarding hot path (it used to reconstruct and reverse the full path
 // per call — once per hop per packet).
+//
+//viator:noalloc
 func (t *SPT) NextHop(dst NodeID) NodeID {
 	if t.next != nil {
 		return t.next[dst]

@@ -23,6 +23,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -268,13 +269,7 @@ func Eval(expr string, values map[string]int64, gas int64) (int64, error) {
 	for n := range values {
 		names = append(names, n)
 	}
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	for _, n := range names {
 		if reg >= NumRegisters {
 			return 0, &CompileError{Pos: 0, Msg: "too many variables"}
@@ -287,8 +282,8 @@ func Eval(expr string, values map[string]int64, gas int64) (int64, error) {
 		return 0, err
 	}
 	m := NewMachine(prog, gas)
-	for n, r := range vars {
-		m.SetReg(r, values[n])
+	for _, n := range names {
+		m.SetReg(vars[n], values[n])
 	}
 	return m.Run()
 }
