@@ -6,6 +6,13 @@
 // (-csv) or JSON (-json); for a fixed (-seed, -reps) pair the output is
 // byte-identical across invocations and across -workers values.
 //
+// -scenario file.json runs one declarative scenario spec (the
+// internal/scenario DSL — the same compiler behind the registry's S1/S2
+// entries) and prints its trajectory table plus the spec's assertion
+// verdicts; -scenario-dir runs every *.json spec in a directory as a
+// suite. The process exits 1 if any replicate fails an assertion and 2
+// for unparseable or invalid specs, so scenario suites gate CI directly.
+//
 // -bench <kernel|routing|mobility|telemetry|all> switches to the
 // micro-benchmark suites, emitting a JSON document (the BENCH_<suite>.json
 // artifacts tracked by CI) instead of tables: `kernel` times the kernel
@@ -28,6 +35,7 @@
 // Usage:
 //
 //	viatorbench [-seed N] [-reps N] [-workers K] [-csv|-json] [-only E5,E11] [-ablations] [-stress] [-list]
+//	viatorbench -scenario file.json | -scenario-dir dir [-seed N] [-reps N] [-workers K]
 //	viatorbench -bench <kernel|routing|mobility|telemetry|all>
 //	viatorbench -telemetry out.jsonl [-only S1] [-reps N] [-workers K]
 package main
@@ -37,9 +45,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -92,40 +102,83 @@ func rewriteBenchArg(args []string) []string {
 	return out
 }
 
+// resolveSuite folds the -bench selector and the deprecated alias
+// booleans into the effective suite name ("" = no benchmark mode).
+func resolveSuite(bench string, routingAlias, mobilityAlias bool) string {
+	if routingAlias {
+		return "routing"
+	}
+	if mobilityAlias {
+		return "mobility"
+	}
+	return bench
+}
+
 func main() {
-	seed := flag.Uint64("seed", 42, "base seed (equal seeds replay exactly)")
-	reps := flag.Int("reps", 1, "replicates per experiment; >1 aggregates numeric cells into mean ±95% CI")
-	workers := flag.Int("workers", 0, "parallel replicate workers (0 = GOMAXPROCS); never affects results")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of aligned tables")
-	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all paper experiments")
-	ablations := flag.Bool("ablations", false, "also run the design-knob ablation sweeps A1-A4")
-	stress := flag.Bool("stress", false, "also run the stress/scale scenarios (S1, S2)")
-	list := flag.Bool("list", false, "list registered experiment ids and exit")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind an exit code, with output injected so the
+// flag-handling and scenario paths are testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("viatorbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 42, "base seed (equal seeds replay exactly)")
+	reps := fs.Int("reps", 1, "replicates per experiment; >1 aggregates numeric cells into mean ±95% CI")
+	workers := fs.Int("workers", 0, "parallel replicate workers (0 = GOMAXPROCS); never affects results")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of aligned tables")
+	only := fs.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all paper experiments")
+	ablations := fs.Bool("ablations", false, "also run the design-knob ablation sweeps A1-A4")
+	stress := fs.Bool("stress", false, "also run the stress/scale scenarios (S1, S2)")
+	list := fs.Bool("list", false, "list registered experiment ids and exit")
 	var bench benchFlag
-	flag.Var(&bench, "bench", "run a micro-benchmark suite (kernel|routing|mobility|telemetry|all) and emit JSON (BENCH_<suite>.json)")
-	benchRouting := flag.Bool("bench-routing", false, "deprecated alias for -bench routing")
-	benchMobility := flag.Bool("bench-mobility", false, "deprecated alias for -bench mobility")
-	telemetryOut := flag.String("telemetry", "", "export streaming telemetry for the selected telemetry-capable experiments as JSON-lines to this file (plus a Prometheus snapshot beside it)")
-	flag.CommandLine.Parse(rewriteBenchArg(os.Args[1:]))
-	if flag.NArg() > 0 {
+	fs.Var(&bench, "bench", "run a micro-benchmark suite (kernel|routing|mobility|telemetry|all) and emit JSON (BENCH_<suite>.json)")
+	benchRouting := fs.Bool("bench-routing", false, "deprecated alias for -bench routing")
+	benchMobility := fs.Bool("bench-mobility", false, "deprecated alias for -bench mobility")
+	telemetryOut := fs.String("telemetry", "", "export streaming telemetry for the selected telemetry-capable experiments as JSON-lines to this file (plus a Prometheus snapshot beside it)")
+	scenarioFile := fs.String("scenario", "", "run one declarative scenario spec (JSON) and evaluate its assertions")
+	scenarioDir := fs.String("scenario-dir", "", "run every *.json scenario spec in this directory as a suite")
+	if err := fs.Parse(rewriteBenchArg(args)); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
 		// A stray positional arg is almost always a typo'd -bench selector
 		// (bool-flag semantics would otherwise silently run the kernel
 		// suite); refuse instead of guessing.
-		fmt.Fprintf(os.Stderr, "viatorbench: unexpected argument %q (valid -bench suites: kernel, routing, mobility, telemetry, all)\n", flag.Arg(0))
-		os.Exit(2)
+		fmt.Fprintf(stderr, "viatorbench: unexpected argument %q (valid -bench suites: kernel, routing, mobility, telemetry, all)\n", fs.Arg(0))
+		return 2
 	}
 
-	suite := bench.suite
-	if *benchRouting {
-		suite = "routing"
+	if suite := resolveSuite(bench.suite, *benchRouting, *benchMobility); suite != "" {
+		return runBenchSuite(suite, *seed, *workers, stdout, stderr)
 	}
-	if *benchMobility {
-		suite = "mobility"
+
+	if *csv && *jsonOut {
+		fmt.Fprintln(stderr, "viatorbench: -csv and -json are mutually exclusive")
+		return 2
 	}
-	if suite != "" {
-		runBenchSuite(suite, *seed, *workers)
-		return
+
+	if *scenarioFile != "" || *scenarioDir != "" {
+		if *scenarioFile != "" && *scenarioDir != "" {
+			fmt.Fprintln(stderr, "viatorbench: -scenario and -scenario-dir are mutually exclusive")
+			return 2
+		}
+		if *jsonOut {
+			fmt.Fprintln(stderr, "viatorbench: scenario mode emits tables + verdicts (use -csv for CSV tables; -json is not supported)")
+			return 2
+		}
+		paths := []string{*scenarioFile}
+		if *scenarioDir != "" {
+			var err error
+			paths, err = filepath.Glob(filepath.Join(*scenarioDir, "*.json"))
+			if err != nil || len(paths) == 0 {
+				fmt.Fprintf(stderr, "viatorbench: no *.json specs in %q\n", *scenarioDir)
+				return 2
+			}
+			sort.Strings(paths)
+		}
+		return runScenarios(paths, *reps, *seed, *workers, *csv, stdout, stderr)
 	}
 
 	reg := viator.DefaultRegistry()
@@ -138,34 +191,30 @@ func main() {
 			case e.Stress:
 				kind = "stress"
 			}
-			fmt.Printf("%-4s %-9s %s\n", e.ID, kind, e.Title)
+			fmt.Fprintf(stdout, "%-4s %-9s %s\n", e.ID, kind, e.Title)
 		}
-		return
-	}
-	if *csv && *jsonOut {
-		fmt.Fprintln(os.Stderr, "viatorbench: -csv and -json are mutually exclusive")
-		os.Exit(2)
+		return 0
 	}
 
 	if *telemetryOut != "" {
 		tids := splitIDs(*only)
 		if _, err := reg.Resolve(tids); err != nil {
-			fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "viatorbench: %v\n", err)
+			return 2
 		}
-		if err := runTelemetryExport(reg, tids, *reps, *seed, *workers, *telemetryOut); err != nil {
-			fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
-			os.Exit(1)
+		if err := runTelemetryExport(reg, tids, *reps, *seed, *workers, *telemetryOut, stdout); err != nil {
+			fmt.Fprintf(stderr, "viatorbench: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var ids []string
 	if *only != "" {
 		ids = splitIDs(*only)
 		if _, err := reg.Resolve(ids); err != nil {
-			fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "viatorbench: %v\n", err)
+			return 2
 		}
 	} else {
 		for _, e := range reg.Paper() {
@@ -187,8 +236,8 @@ func main() {
 
 	results, err := reg.RunReplicated(ids, *reps, *seed, *workers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "viatorbench: %v\n", err)
+		return 1
 	}
 
 	switch {
@@ -198,21 +247,69 @@ func main() {
 			Reps        int                  `json:"reps"`
 			Experiments []*viator.Replicated `json:"experiments"`
 		}{*seed, *reps, results}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
-			fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "viatorbench: %v\n", err)
+			return 1
 		}
 	case *csv:
 		for _, a := range results {
-			fmt.Printf("# %s\n%s\n", a.Provenance(), a.Table().CSV())
+			fmt.Fprintf(stdout, "# %s\n%s\n", a.Provenance(), a.Table().CSV())
 		}
 	default:
 		for _, a := range results {
-			fmt.Println(a.Table().String())
+			fmt.Fprintln(stdout, a.Table().String())
 		}
 	}
+	return 0
+}
+
+// runScenarios is the -scenario/-scenario-dir mode: compile each spec,
+// replicate it with the registry seed discipline, print the aggregated
+// trajectory table and every replicate's assertion verdicts. Exit code 2
+// for unreadable/invalid specs, 1 if any replicate fails an assertion,
+// 0 when every assertion of every spec holds.
+func runScenarios(paths []string, reps int, seed uint64, workers int, csv bool, stdout, stderr io.Writer) int {
+	failed := false
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "viatorbench: %v\n", err)
+			return 2
+		}
+		sc, err := viator.ParseScenario(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "viatorbench: %s: %v\n", path, err)
+			return 2
+		}
+		agg, runs, err := viator.RunScenarioReplicated(sc, reps, seed, workers)
+		if err != nil {
+			fmt.Fprintf(stderr, "viatorbench: %s: %v\n", path, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "# scenario %s (%s): reps=%d baseSeed=%d\n", sc.ScenarioID(), path, reps, seed)
+		if csv {
+			fmt.Fprintln(stdout, agg.Table().CSV())
+		} else {
+			fmt.Fprintln(stdout, agg.Table().String())
+		}
+		for i, rep := range runs {
+			for _, v := range rep.Res.Verdicts {
+				status := "PASS"
+				if !v.Pass {
+					status = "FAIL"
+					failed = true
+				}
+				fmt.Fprintf(stdout, "%s replicate %d (seed %d) %s: %s\n", status, i, rep.Seed, v.Name, v.Detail)
+			}
+		}
+		fmt.Fprintln(stdout)
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 // benchResult is one micro-benchmark's measurement in the emitted JSON.
@@ -225,14 +322,12 @@ type benchResult struct {
 }
 
 // record runs one benchmark body through testing.Benchmark (so iteration
-// counts self-calibrate) and packages the measurement.
-func record(name string, fn func(b *testing.B)) benchResult {
+// counts self-calibrate) and packages the measurement. ok is false when
+// the body failed (b.Fatal yields a zero result).
+func record(name string, fn func(b *testing.B)) (benchResult, bool) {
 	r := testing.Benchmark(fn)
 	if r.N == 0 {
-		// b.Fatal inside the body yields a zero result; surface the
-		// failing benchmark instead of emitting NaN JSON.
-		fmt.Fprintf(os.Stderr, "viatorbench: benchmark %s failed (see log above)\n", name)
-		os.Exit(1)
+		return benchResult{Name: name}, false
 	}
 	return benchResult{
 		Name:        name,
@@ -240,12 +335,12 @@ func record(name string, fn func(b *testing.B)) benchResult {
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
-	}
+	}, true
 }
 
 // emitBench writes one benchmark-suite JSON document to stdout (CI
 // redirects it into the matching BENCH_*.json artifact).
-func emitBench(generatedBy string, seed uint64, results []benchResult) {
+func emitBench(generatedBy string, seed uint64, results []benchResult, stdout, stderr io.Writer) int {
 	doc := struct {
 		GeneratedBy string        `json:"generated_by"`
 		GoVersion   string        `json:"go_version"`
@@ -253,80 +348,99 @@ func emitBench(generatedBy string, seed uint64, results []benchResult) {
 		BaseSeed    uint64        `json:"base_seed"`
 		Benchmarks  []benchResult `json:"benchmarks"`
 	}{generatedBy, runtime.Version(), runtime.GOMAXPROCS(0), seed, results}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "viatorbench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "viatorbench: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
 // runBenchSuite dispatches one -bench selector: each suite's bodies are
 // the exact ones `go test -bench` runs (internal/benchprobe), so CI's
 // benchmark step and the BENCH_<suite>.json artifacts can never silently
 // diverge; `all` concatenates every suite into one document.
-func runBenchSuite(suite string, seed uint64, workers int) {
-	var results []benchResult
+func runBenchSuite(suite string, seed uint64, workers int, stdout, stderr io.Writer) int {
+	var specs []benchSpec
 	if suite == "kernel" || suite == "all" {
-		results = append(results, benchKernel(seed, workers)...)
+		specs = append(specs, benchKernel(seed, workers)...)
 	}
 	if suite == "routing" || suite == "all" {
-		results = append(results, benchRouting(seed)...)
+		specs = append(specs, benchRoutingSuite(seed)...)
 	}
 	if suite == "mobility" || suite == "all" {
-		results = append(results, benchMobility(seed)...)
+		specs = append(specs, benchMobilitySuite(seed)...)
 	}
 	if suite == "telemetry" || suite == "all" {
-		results = append(results, benchTelemetry()...)
+		specs = append(specs, benchTelemetry()...)
 	}
-	emitBench("viatorbench -bench "+suite, seed, results)
+	var results []benchResult
+	for _, s := range specs {
+		r, ok := record(s.name, s.fn)
+		if !ok {
+			// b.Fatal inside the body: surface the failing benchmark
+			// instead of emitting NaN JSON.
+			fmt.Fprintf(stderr, "viatorbench: benchmark %s failed (see log above)\n", s.name)
+			return 1
+		}
+		results = append(results, r)
+	}
+	return emitBench("viatorbench -bench "+suite, seed, results, stdout, stderr)
+}
+
+// benchSpec names one benchmark body inside a suite.
+type benchSpec struct {
+	name string
+	fn   func(b *testing.B)
 }
 
 // benchKernel is the substrate suite (BENCH_kernel.json): the kernel
 // schedule/fire path, the per-packet send path and a replicated E1 run.
-func benchKernel(seed uint64, workers int) []benchResult {
-	return []benchResult{
-		record("kernel.schedule_fire", benchprobe.KernelScheduleFire),
-		record("netsim.send_deliver", benchprobe.NetsimSendDeliver),
-		record("e1.replicated_4x", func(b *testing.B) {
+func benchKernel(seed uint64, workers int) []benchSpec {
+	return []benchSpec{
+		{"kernel.schedule_fire", benchprobe.KernelScheduleFire},
+		{"netsim.send_deliver", benchprobe.NetsimSendDeliver},
+		{"e1.replicated_4x", func(b *testing.B) {
 			benchprobe.Replicated(b, func() error {
 				_, err := viator.RunReplicated([]string{"E1"}, 4, seed, workers)
 				return err
 			})
-		}),
+		}},
 	}
 }
 
-// benchRouting is the routing control-plane suite (BENCH_routing.json):
-// the gated no-op pulse, the sparse-traffic lazy adaptation cycle, the
-// eager parallel all-pairs rebuild and the warm-table next-hop lookup,
-// all on an S1-sized radio mesh (1000 nodes, ~16k links, 2 overlays).
-func benchRouting(seed uint64) []benchResult {
-	return []benchResult{
-		record("routing.pulse_steady", benchprobe.AdaptivePulseSteady(seed)),
-		record("routing.pulse_lazy_sparse", benchprobe.AdaptivePulseLazySparse(seed)),
-		record("routing.pulse_rebuild", benchprobe.AdaptivePulseRebuild(seed)),
-		record("routing.next_hop", benchprobe.AdaptiveNextHop(seed)),
+// benchRoutingSuite is the routing control-plane suite
+// (BENCH_routing.json): the gated no-op pulse, the sparse-traffic lazy
+// adaptation cycle, the eager parallel all-pairs rebuild and the
+// warm-table next-hop lookup, all on an S1-sized radio mesh (1000 nodes,
+// ~16k links, 2 overlays).
+func benchRoutingSuite(seed uint64) []benchSpec {
+	return []benchSpec{
+		{"routing.pulse_steady", benchprobe.AdaptivePulseSteady(seed)},
+		{"routing.pulse_lazy_sparse", benchprobe.AdaptivePulseLazySparse(seed)},
+		{"routing.pulse_rebuild", benchprobe.AdaptivePulseRebuild(seed)},
+		{"routing.next_hop", benchprobe.AdaptiveNextHop(seed)},
 	}
 }
 
-// benchMobility is the physical-layer suite (BENCH_mobility.json): the
-// brute-force O(n²) connectivity oracle, the spatial-hash grid refresh,
-// the incremental diff refresh the simulation loop runs, and pure
-// mobility stepping — all at S1 scale (1000 mobile ships, radius 75) —
-// plus one full end-to-end S2 megalopolis run (10k ships).
-func benchMobility(seed uint64) []benchResult {
-	return []benchResult{
-		record("mobility.connectivity_oracle", benchprobe.ConnectivityOracle(seed)),
-		record("mobility.connectivity_grid", benchprobe.ConnectivityGrid(seed)),
-		record("mobility.connectivity_incremental", benchprobe.ConnectivityIncremental(seed)),
-		record("mobility.step", benchprobe.MobilityStep(seed)),
-		record("s2.megalopolis_run", func(b *testing.B) {
+// benchMobilitySuite is the physical-layer suite (BENCH_mobility.json):
+// the brute-force O(n²) connectivity oracle, the spatial-hash grid
+// refresh, the incremental diff refresh the simulation loop runs, and
+// pure mobility stepping — all at S1 scale (1000 mobile ships, radius
+// 75) — plus one full end-to-end S2 megalopolis run (10k ships).
+func benchMobilitySuite(seed uint64) []benchSpec {
+	return []benchSpec{
+		{"mobility.connectivity_oracle", benchprobe.ConnectivityOracle(seed)},
+		{"mobility.connectivity_grid", benchprobe.ConnectivityGrid(seed)},
+		{"mobility.connectivity_incremental", benchprobe.ConnectivityIncremental(seed)},
+		{"mobility.step", benchprobe.MobilityStep(seed)},
+		{"s2.megalopolis_run", func(b *testing.B) {
 			benchprobe.Replicated(b, func() error {
 				_, err := viator.RunReplicated([]string{"S2"}, 1, seed, 1)
 				return err
 			})
-		}),
+		}},
 	}
 }
 
@@ -334,13 +448,13 @@ func benchMobility(seed uint64) []benchResult {
 // the histogram observe/quantile/merge paths, one flight-recorder tick at
 // stress-scenario width, and the per-delivery scorecard cost. The alloc
 // columns are the point: zero on every hot path.
-func benchTelemetry() []benchResult {
-	return []benchResult{
-		record("telemetry.hist_observe", benchprobe.HistObserve),
-		record("telemetry.hist_quantile", benchprobe.HistQuantile),
-		record("telemetry.hist_merge", benchprobe.HistMerge),
-		record("telemetry.recorder_tick", benchprobe.RecorderTick),
-		record("telemetry.scorecard_delivered", benchprobe.ScorecardDelivered),
+func benchTelemetry() []benchSpec {
+	return []benchSpec{
+		{"telemetry.hist_observe", benchprobe.HistObserve},
+		{"telemetry.hist_quantile", benchprobe.HistQuantile},
+		{"telemetry.hist_merge", benchprobe.HistMerge},
+		{"telemetry.recorder_tick", benchprobe.RecorderTick},
+		{"telemetry.scorecard_delivered", benchprobe.ScorecardDelivered},
 	}
 }
 
@@ -378,7 +492,7 @@ func writeFile(path string, emit func(w *bufio.Writer) error) error {
 // runTelemetryExport is the -telemetry mode: collect streaming telemetry
 // for the selected (or all) telemetry-capable experiments and write the
 // JSON-lines export plus one Prometheus snapshot of the pooled merges.
-func runTelemetryExport(reg *viator.Registry, ids []string, reps int, seed uint64, workers int, path string) error {
+func runTelemetryExport(reg *viator.Registry, ids []string, reps int, seed uint64, workers int, path string, stdout io.Writer) error {
 	results, err := reg.CollectTelemetry(ids, reps, seed, workers)
 	if err != nil {
 		return err
@@ -403,7 +517,7 @@ func runTelemetryExport(reg *viator.Registry, ids []string, reps int, seed uint6
 		return err
 	}
 	for _, tr := range results {
-		fmt.Printf("telemetry: %s reps=%d baseSeed=%d -> %s (JSONL), %s (Prometheus)\n",
+		fmt.Fprintf(stdout, "telemetry: %s reps=%d baseSeed=%d -> %s (JSONL), %s (Prometheus)\n",
 			tr.ID, tr.Reps, tr.BaseSeed, path, promPath)
 	}
 	return nil

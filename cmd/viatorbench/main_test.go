@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// miniSpec is a sub-second scenario used to exercise the CLI paths
+// without paying for a stress-scale run.
+const miniSpec = `{
+  "name": "mini",
+  "title": "mini: 8 static ships, uniform trickle",
+  "ships": 8,
+  "horizon": 1.0,
+  "row_every": 0.5,
+  "arena": {"kind": "static", "side": 120.0, "radius": 90.0},
+  "pulse_period": 1.0,
+  "telemetry_tick": 0.5,
+  "traffic": [{"kind": "uniform", "period": 0.1}],
+  "asserts": {"min_delivered": 1}
+}
+`
+
+// runCLI invokes run() in-process and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeSpec(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRewriteBenchArg(t *testing.T) {
+	cases := []struct {
+		in, want []string
+	}{
+		// space-separated suite folds into -bench=<suite>
+		{[]string{"-bench", "routing"}, []string{"-bench=routing"}},
+		{[]string{"--bench", "telemetry", "-seed", "7"}, []string{"-bench=telemetry", "-seed", "7"}},
+		// bare -bench (deprecated kernel alias) is left alone
+		{[]string{"-bench"}, []string{"-bench"}},
+		// non-suite successor is not consumed
+		{[]string{"-bench", "bogus"}, []string{"-bench", "bogus"}},
+		{[]string{"-seed", "7"}, []string{"-seed", "7"}},
+		{nil, []string{}},
+	}
+	for _, c := range cases {
+		got := rewriteBenchArg(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("rewriteBenchArg(%q) = %q, want %q", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("rewriteBenchArg(%q) = %q, want %q", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBenchFlagSet(t *testing.T) {
+	var b benchFlag
+	if err := b.Set("true"); err != nil || b.suite != "kernel" {
+		t.Fatalf("bare -bench: suite=%q err=%v, want kernel", b.suite, err)
+	}
+	if err := b.Set("false"); err != nil || b.suite != "" {
+		t.Fatalf("-bench=false: suite=%q err=%v, want empty", b.suite, err)
+	}
+	for _, s := range []string{"kernel", "routing", "mobility", "telemetry", "all"} {
+		if err := b.Set(s); err != nil || b.suite != s {
+			t.Fatalf("-bench=%s: suite=%q err=%v", s, b.suite, err)
+		}
+	}
+	if err := b.Set("bogus"); err == nil {
+		t.Fatal("-bench=bogus: want error, got nil")
+	}
+	if !b.IsBoolFlag() {
+		t.Fatal("benchFlag must keep bool-flag semantics for the bare -bench alias")
+	}
+}
+
+func TestResolveSuite(t *testing.T) {
+	// the deprecated alias booleans win over the consolidated selector,
+	// matching the original CLI's precedence (aliases were checked first)
+	if got := resolveSuite("", true, false); got != "routing" {
+		t.Fatalf("-bench-routing: got %q", got)
+	}
+	if got := resolveSuite("", false, true); got != "mobility" {
+		t.Fatalf("-bench-mobility: got %q", got)
+	}
+	if got := resolveSuite("kernel", true, false); got != "routing" {
+		t.Fatalf("alias precedence: got %q", got)
+	}
+	if got := resolveSuite("telemetry", false, false); got != "telemetry" {
+		t.Fatalf("-bench telemetry: got %q", got)
+	}
+	if got := resolveSuite("", false, false); got != "" {
+		t.Fatalf("no bench mode: got %q", got)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d, want 0", code)
+	}
+	for _, want := range []string{"E1", "S1", "S2", "stress", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadOnlyExitsTwo(t *testing.T) {
+	code, _, errOut := runCLI(t, "-only", "E99")
+	if code != 2 {
+		t.Fatalf("-only E99: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "E99") {
+		t.Fatalf("-only E99: stderr should name the bad id:\n%s", errOut)
+	}
+	// the -telemetry path validates -only the same way
+	code, _, _ = runCLI(t, "-telemetry", filepath.Join(t.TempDir(), "t.jsonl"), "-only", "E99")
+	if code != 2 {
+		t.Fatalf("-telemetry -only E99: exit %d, want 2", code)
+	}
+}
+
+func TestCSVAndJSONAreExclusive(t *testing.T) {
+	code, _, errOut := runCLI(t, "-csv", "-json")
+	if code != 2 {
+		t.Fatalf("-csv -json: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "mutually exclusive") {
+		t.Fatalf("-csv -json stderr:\n%s", errOut)
+	}
+}
+
+func TestStrayPositionalExitsTwo(t *testing.T) {
+	code, _, errOut := runCLI(t, "kernle")
+	if code != 2 {
+		t.Fatalf("stray positional: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "kernle") || !strings.Contains(errOut, "valid -bench suites") {
+		t.Fatalf("stray positional stderr:\n%s", errOut)
+	}
+}
+
+func TestUnknownFlagExitsTwo(t *testing.T) {
+	code, _, _ := runCLI(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+func TestScenarioHappyPath(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "mini.json", miniSpec)
+	code, out, errOut := runCLI(t, "-scenario", path)
+	if code != 0 {
+		t.Fatalf("-scenario mini: exit %d, want 0\nstderr: %s", code, errOut)
+	}
+	for _, want := range []string{"# scenario MINI", "t (s)", "PASS replicate 0 (seed 42) min_delivered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-scenario output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("-scenario mini should have no failing verdicts:\n%s", out)
+	}
+}
+
+func TestScenarioCSV(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "mini.json", miniSpec)
+	code, out, _ := runCLI(t, "-scenario", path, "-csv")
+	if code != 0 {
+		t.Fatalf("-scenario -csv: exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "t (s),alive frac") {
+		t.Fatalf("-scenario -csv should emit a CSV header:\n%s", out)
+	}
+}
+
+func TestScenarioAssertionFailureExitsOne(t *testing.T) {
+	failing := strings.Replace(miniSpec, `"min_delivered": 1`, `"min_delivered": 1000000`, 1)
+	path := writeSpec(t, t.TempDir(), "fail.json", failing)
+	code, out, _ := runCLI(t, "-scenario", path)
+	if code != 1 {
+		t.Fatalf("failing assertion: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "FAIL replicate 0 (seed 42) min_delivered") {
+		t.Fatalf("failing assertion output:\n%s", out)
+	}
+}
+
+func TestScenarioInvalidSpecExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"syntax.json":  `{"name": "x",`,
+		"unknown.json": `{"name": "x", "warp_drive": true}`,
+		"semantic.json": strings.Replace(miniSpec,
+			`"ships": 8`, `"ships": 1`, 1),
+	}
+	for name, body := range cases {
+		path := writeSpec(t, dir, name, body)
+		code, _, errOut := runCLI(t, "-scenario", path)
+		if code != 2 {
+			t.Fatalf("%s: exit %d, want 2", name, code)
+		}
+		if !strings.Contains(errOut, "scenario:") {
+			t.Fatalf("%s: stderr should carry a positional scenario error:\n%s", name, errOut)
+		}
+	}
+	// unreadable file
+	code, _, _ := runCLI(t, "-scenario", filepath.Join(dir, "no-such.json"))
+	if code != 2 {
+		t.Fatalf("missing spec file: exit %d, want 2", code)
+	}
+}
+
+func TestScenarioDir(t *testing.T) {
+	dir := t.TempDir()
+	writeSpec(t, dir, "a.json", miniSpec)
+	writeSpec(t, dir, "b.json", strings.Replace(miniSpec, `"name": "mini"`, `"name": "mini2"`, 1))
+	code, out, _ := runCLI(t, "-scenario-dir", dir)
+	if code != 0 {
+		t.Fatalf("-scenario-dir: exit %d, want 0", code)
+	}
+	// specs run in sorted filename order
+	ia, ib := strings.Index(out, "# scenario MINI "), strings.Index(out, "# scenario MINI2 ")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("-scenario-dir should run both specs in sorted order:\n%s", out)
+	}
+}
+
+func TestScenarioDirEmptyExitsTwo(t *testing.T) {
+	code, _, errOut := runCLI(t, "-scenario-dir", t.TempDir())
+	if code != 2 {
+		t.Fatalf("empty -scenario-dir: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "no *.json specs") {
+		t.Fatalf("empty -scenario-dir stderr:\n%s", errOut)
+	}
+}
+
+func TestScenarioModeFlagConflicts(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "mini.json", miniSpec)
+	if code, _, _ := runCLI(t, "-scenario", path, "-scenario-dir", filepath.Dir(path)); code != 2 {
+		t.Fatalf("-scenario + -scenario-dir: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-scenario", path, "-json"); code != 2 {
+		t.Fatalf("-scenario + -json: exit %d, want 2", code)
+	}
+}
+
+func TestScenarioReplicates(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "mini.json", miniSpec)
+	code, out, _ := runCLI(t, "-scenario", path, "-reps", "2", "-workers", "2", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("-scenario -reps 2: exit %d, want 0", code)
+	}
+	// reps>1 derives per-replicate seeds from the base seed, so only the
+	// replicate indices are stable here
+	if !strings.Contains(out, "replicate 0 (seed ") || !strings.Contains(out, "replicate 1 (seed ") {
+		t.Fatalf("-reps 2 should print verdicts for both replicates:\n%s", out)
+	}
+	if !strings.Contains(out, "±") {
+		t.Fatalf("-reps 2 table should aggregate cells into mean ±95%% CI:\n%s", out)
+	}
+}

@@ -126,6 +126,9 @@ var DeterministicPackages = map[string]bool{
 	"viator/internal/baseline": true,
 	"viator/internal/spec":     true,
 	"viator/internal/trace":    true,
+	// The scenario DSL validates and lowers specs onto runs; its output
+	// feeds the same byte-identity contract as the root catalog.
+	"viator/internal/scenario": true,
 }
 
 // detFixture marks linttest fixture packages that should be treated as

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec pins two laws of the parser on arbitrary bytes:
+//
+//  1. Parse never panics — every malformed input comes back as a
+//     positional *Error, not a crash (the CLI feeds it user files).
+//  2. For any input Parse accepts, Marshal is a lossless inverse:
+//     Parse(Marshal(sp)) yields a deeply-equal spec and re-marshals to
+//     the same bytes, so specs survive editing round trips unchanged.
+//
+// CI runs this for a short wall-clock budget on every push
+// (go test -fuzz=FuzzParseSpec -fuzztime=10s); the seed corpus below
+// plus testdata/fuzz/FuzzParseSpec/ keeps the interesting shapes
+// covered even in plain `go test` runs.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(validSpec))
+	f.Add([]byte(`{"name": "x",`))                                // truncated object
+	f.Add([]byte(`{"name": "x", "warp_drive": true}`))            // unknown field
+	f.Add([]byte(`{"ships": "many"}`))                            // wrong type
+	f.Add([]byte(`{"name": "x"} {"name": "y"}`))                  // trailing data
+	f.Add([]byte(`null`))                                         // JSON, but not an object
+	f.Add([]byte(`[1, 2, 3]`))                                    // wrong top-level shape
+	f.Add([]byte(``))                                             // empty input
+	f.Add([]byte("{\"name\": \"x\",\n  \"ships\": 1e309}"))       // float overflow
+	f.Add([]byte(`{"arena": {"kind": "static", "side": -1}}`))    // nested validation
+	f.Add([]byte(`{"traffic": [{"kind": "uniform"}], "name":1}`)) // late type error
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(data) // must not panic, whatever the bytes
+		if err != nil {
+			return
+		}
+		out, err := sp.Marshal()
+		if err != nil {
+			t.Fatalf("Marshal of accepted spec failed: %v", err)
+		}
+		sp2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Parse(Marshal(sp)) rejected its own output: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(sp, sp2) {
+			t.Fatalf("round trip changed the spec:\nin:  %+v\nout: %+v", sp, sp2)
+		}
+		out2, err := sp2.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("Marshal not byte-stable:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validSpec exercises every section of the grammar at once.
+const validSpec = `{
+  "name": "full",
+  "title": "full: every grammar section in one spec",
+  "ships": 64,
+  "horizon": 10.0,
+  "row_every": 2.0,
+  "unfair_fraction": 0.25,
+  "arena": {"kind": "static", "side": 400.0, "radius": 90.0},
+  "pulse_period": 1.0,
+  "heal_period": 1.0,
+  "telemetry_tick": 0.5,
+  "slo": {"quantile": 0.95, "max_latency": 0.050, "min_delivery_ratio": 0.60},
+  "jets": [{"at": 0, "role": "caching", "fanout": 3}],
+  "churn": {"period": 0.5, "start": 1.0, "stop": 9.0},
+  "traffic": [
+    {"kind": "uniform", "period": 0.05},
+    {"kind": "district", "period": 0.05, "max_dist": 200.0, "tries": 32},
+    {"kind": "poisson", "rate": 10},
+    {"kind": "hotspot", "period": 0.05, "exponent": 1.2, "overlay": "flash"},
+    {"kind": "onoff", "rate": 8, "on_mean": 2.0, "off_mean": 5.0, "src": 1, "dst": 2, "overlay": "burst"},
+    {"kind": "cbr", "rate": 4, "src": 3, "dst": 4, "overlay": "stream", "start": 2.0, "stop": 8.0}
+  ],
+  "faults": [
+    {"at": 2.0, "kind": "partition", "cut": 200.0},
+    {"at": 4.0, "kind": "rejoin", "cut": 200.0},
+    {"at": 5.0, "kind": "blackout", "x": 100.0, "y": 100.0, "r": 50.0},
+    {"at": 6.0, "kind": "kill_node", "node": 9},
+    {"at": 7.0, "kind": "link_down", "from": 1, "to": 2},
+    {"at": 8.0, "kind": "link_up", "from": 1, "to": 2}
+  ],
+  "asserts": {
+    "flows": [
+      {"flow": "", "quantile": 0.95, "max_latency": 0.050, "min_delivery_ratio": 0.50},
+      {"flow": "stream", "min_delivery_ratio": 0.40}
+    ],
+    "min_delivered": 10,
+    "max_loss_ratio": 0.5,
+    "min_alive_frac": 0.5,
+    "min_repairs": 1,
+    "min_excluded": 1
+  }
+}
+`
+
+// edit returns validSpec with one substring replaced — the workhorse for
+// invalid-spec table tests.
+func edit(t *testing.T, old, new string) []byte {
+	t.Helper()
+	if !strings.Contains(validSpec, old) {
+		t.Fatalf("edit: %q not in validSpec", old)
+	}
+	return []byte(strings.Replace(validSpec, old, new, 1))
+}
+
+func TestParseValidSpec(t *testing.T) {
+	sp, err := Parse([]byte(validSpec))
+	if err != nil {
+		t.Fatalf("Parse(validSpec): %v", err)
+	}
+	if sp.Name != "full" || sp.Ships != 64 || len(sp.Traffic) != 6 || len(sp.Faults) != 6 {
+		t.Fatalf("parsed spec lost fields: %+v", sp)
+	}
+	if sp.Churn == nil || sp.Churn.Period != 0.5 {
+		t.Fatalf("churn not decoded: %+v", sp.Churn)
+	}
+	if got := sp.NumRows(); got != 5 {
+		t.Fatalf("NumRows() = %d, want 5", got)
+	}
+}
+
+func TestParsePositionalErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		data     []byte
+		wantPath string // substring of Error.Path
+		wantMsg  string // substring of Error.Msg
+	}{
+		{"truncated", []byte(`{"name": "x",`), ":", "unexpected"},
+		{"not json", []byte(`ships ahoy`), "1:2", "invalid character"},
+		{"wrong type", []byte(`{"ships": "many"}`), "1:17", "cannot unmarshal"},
+		{"unknown field", []byte(`{"name": "x", "warp_drive": true}`), "1:34", "warp_drive"},
+		{"trailing data", []byte(`{"name": "x"} {"name": "y"}`), "1:15", "trailing data"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.data)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("want *scenario.Error, got %T: %v", err, err)
+			}
+			if !strings.Contains(se.Path, c.wantPath) {
+				t.Errorf("Path = %q, want substring %q (err: %v)", se.Path, c.wantPath, err)
+			}
+			if !strings.Contains(se.Msg, c.wantMsg) {
+				t.Errorf("Msg = %q, want substring %q", se.Msg, c.wantMsg)
+			}
+		})
+	}
+}
+
+func TestValidateFieldPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new string
+		wantPath string
+	}{
+		{"bad name", `"name": "full"`, `"name": "Full Spec"`, "name"},
+		{"empty title", `"title": "full: every grammar section in one spec"`, `"title": ""`, "title"},
+		{"one ship", `"ships": 64`, `"ships": 1`, "ships"},
+		{"zero horizon", `"horizon": 10.0`, `"horizon": 0`, "horizon"},
+		{"row beyond horizon", `"row_every": 2.0`, `"row_every": 11.0`, "row_every"},
+		{"unfair full", `"unfair_fraction": 0.25`, `"unfair_fraction": 1.0`, "unfair_fraction"},
+		{"bad arena kind", `"kind": "static"`, `"kind": "orbital"`, "arena.kind"},
+		{"static with mobility", `"arena": {"kind": "static", "side": 400.0, "radius": 90.0}`,
+			`"arena": {"kind": "static", "side": 400.0, "radius": 90.0, "refresh": 1.0}`, "arena"},
+		{"zero pulse", `"pulse_period": 1.0`, `"pulse_period": 0`, "pulse_period"},
+		{"bad slo quantile", `"slo": {"quantile": 0.95,`, `"slo": {"quantile": 1.5,`, "slo.quantile"},
+		{"bad jet role", `"role": "caching"`, `"role": "captain"`, "jets[0].role"},
+		{"jet out of range", `"jets": [{"at": 0,`, `"jets": [{"at": 64,`, "jets[0].at"},
+		{"zero churn period", `"churn": {"period": 0.5,`, `"churn": {"period": 0,`, "churn.period"},
+		{"bad churn window", `"stop": 9.0}`, `"stop": 0.5}`, "churn.stop"},
+		{"bad traffic kind", `{"kind": "uniform", "period": 0.05},`, `{"kind": "telepathy", "period": 0.05},`, "traffic[0].kind"},
+		{"zero period", `{"kind": "uniform", "period": 0.05},`, `{"kind": "uniform", "period": 0},`, "traffic[0].period"},
+		{"district no dist", `"max_dist": 200.0, `, `"max_dist": 0, `, "traffic[1].max_dist"},
+		{"poisson no rate", `{"kind": "poisson", "rate": 10},`, `{"kind": "poisson"},`, "traffic[2].rate"},
+		{"hotspot no exponent", `"exponent": 1.2, `, `"exponent": 0, `, "traffic[3].exponent"},
+		{"onoff same pair", `"src": 1, "dst": 2, "overlay": "burst"`, `"src": 1, "dst": 1, "overlay": "burst"`, "traffic[4]"},
+		{"fault beyond horizon", `{"at": 2.0, "kind": "partition", "cut": 200.0},`,
+			`{"at": 20.0, "kind": "partition", "cut": 200.0},`, "faults[0].at"},
+		{"partition cut outside", `"kind": "partition", "cut": 200.0`, `"kind": "partition", "cut": 500.0`, "faults[0].cut"},
+		{"bad fault kind", `"kind": "kill_node", "node": 9`, `"kind": "emp", "node": 9`, "faults[3].kind"},
+		{"link fault same pair", `"kind": "link_down", "from": 1, "to": 2`, `"kind": "link_down", "from": 1, "to": 1`, "faults[4]"},
+		{"assert unknown flow", `{"flow": "stream", "min_delivery_ratio": 0.40}`,
+			`{"flow": "ghost", "min_delivery_ratio": 0.40}`, "asserts.flows[1].flow"},
+		{"assert no clause", `{"flow": "stream", "min_delivery_ratio": 0.40}`, `{"flow": "stream"}`, "asserts.flows[1]"},
+		{"loss ratio range", `"max_loss_ratio": 0.5`, `"max_loss_ratio": 1.5`, "asserts.max_loss_ratio"},
+		{"repairs need healer", `"heal_period": 1.0`, `"heal_period": 0`, "asserts.min_repairs"},
+		{"excluded need unfair", `"unfair_fraction": 0.25`, `"unfair_fraction": 0`, "asserts.min_excluded"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(edit(t, c.old, c.new))
+			if err == nil {
+				t.Fatal("want validation error, got nil")
+			}
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("want *scenario.Error, got %T: %v", err, err)
+			}
+			if se.Path != c.wantPath {
+				t.Errorf("Path = %q, want %q (err: %v)", se.Path, c.wantPath, err)
+			}
+		})
+	}
+}
+
+func TestMobileFaultRejected(t *testing.T) {
+	// partition/rejoin/link faults require a static arena: the periodic
+	// mobility refresh would silently re-create the cut links
+	mobile := edit(t, `"arena": {"kind": "static", "side": 400.0, "radius": 90.0}`,
+		`"arena": {"kind": "mobile", "side": 400.0, "radius": 90.0, "refresh": 2.5, "min_speed": 2, "max_speed": 10, "pause": 1}`)
+	_, err := Parse(mobile)
+	if err == nil || !strings.Contains(err.Error(), "static arena") {
+		t.Fatalf("mobile arena with partition fault should be rejected, got: %v", err)
+	}
+}
+
+func TestErrorFormat(t *testing.T) {
+	_, err := Parse(edit(t, `"ships": 64`, `"ships": 1`))
+	want := `scenario: full: ships: must be >= 2, got 1`
+	if err == nil || err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err, want)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	sp, err := Parse([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("Parse(Marshal(sp)): %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(sp, sp2) {
+		t.Fatalf("round trip changed the spec:\nbefore: %+v\nafter:  %+v", sp, sp2)
+	}
+	// Marshal is deterministic
+	out2, err := sp2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(out2) {
+		t.Fatal("Marshal is not byte-stable across a round trip")
+	}
+}
+
+func TestNumRowsMatchesFloatLoop(t *testing.T) {
+	cases := []struct {
+		horizon, rowEvery float64
+		want              int
+	}{
+		{10, 2, 5},
+		{5, 1, 5},
+		{1, 0.5, 2},
+		{3600, 600, 6},
+		// 0.1 steps accumulate float error; NumRows must agree with the
+		// runner's loop, whatever that count is
+		{1, 0.1, func() int {
+			n := 0
+			for t := 0.1; t <= 1.0; t += 0.1 {
+				n++
+			}
+			return n
+		}()},
+	}
+	for _, c := range cases {
+		sp := &Spec{Horizon: c.horizon, RowEvery: c.rowEvery}
+		if got := sp.NumRows(); got != c.want {
+			t.Errorf("NumRows(horizon=%v, row_every=%v) = %d, want %d", c.horizon, c.rowEvery, got, c.want)
+		}
+	}
+}

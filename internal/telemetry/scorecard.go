@@ -21,6 +21,24 @@ type SLO struct {
 	MinDeliveryRatio float64 // delivered/sent; 0 disables the ratio clause
 }
 
+// Check evaluates the SLO against raw flow counters and a latency sink:
+// the shared verdict logic behind Report's SLOPass and the scenario
+// harness's per-flow assertions. A flow with nothing sent has delivery
+// ratio 1 (vacuous pass), matching Report.
+func (o SLO) Check(sent, delivered uint64, lat *Hist) bool {
+	ratio := 1.0
+	if sent > 0 {
+		ratio = float64(delivered) / float64(sent)
+	}
+	if o.MinDeliveryRatio > 0 && ratio < o.MinDeliveryRatio {
+		return false
+	}
+	if o.MaxLatency > 0 && lat.Quantile(o.Quantile) > o.MaxLatency {
+		return false
+	}
+	return true
+}
+
 type flowStat struct {
 	name      string
 	slo       SLO
@@ -97,13 +115,7 @@ func (s *ScoreSet) Report(f FlowID) FlowReport {
 	if fs.sent > 0 {
 		r.DeliveryRatio = float64(fs.delivered) / float64(fs.sent)
 	}
-	r.SLOPass = true
-	if fs.slo.MinDeliveryRatio > 0 && r.DeliveryRatio < fs.slo.MinDeliveryRatio {
-		r.SLOPass = false
-	}
-	if fs.slo.MaxLatency > 0 && fs.lat.Quantile(fs.slo.Quantile) > fs.slo.MaxLatency {
-		r.SLOPass = false
-	}
+	r.SLOPass = fs.slo.Check(fs.sent, fs.delivered, fs.lat)
 	return r
 }
 

@@ -234,3 +234,60 @@ func TestMergeDumpsPoolsHistsAndFlows(t *testing.T) {
 		t.Fatalf("merged flow: %+v", r)
 	}
 }
+
+func TestSLOCheck(t *testing.T) {
+	lat := NewHist()
+	for i := 0; i < 100; i++ {
+		lat.Observe(0.010)
+	}
+	lat.Observe(10.0) // one outlier beyond p99
+
+	cases := []struct {
+		name            string
+		slo             SLO
+		sent, delivered uint64
+		want            bool
+	}{
+		{"both clauses pass", SLO{0.95, 0.050, 0.80}, 100, 90, true},
+		{"ratio fails", SLO{0.95, 0.050, 0.95}, 100, 90, false},
+		{"latency fails", SLO{0.999, 0.050, 0.80}, 100, 90, false},
+		{"zero slo is vacuous", SLO{}, 100, 0, true},
+		{"nothing sent passes ratio", SLO{0.95, 0.050, 0.99}, 0, 0, true},
+		{"latency-only clause", SLO{0.95, 0.050, 0}, 100, 0, true},
+		{"ratio-only clause", SLO{0, 0, 0.5}, 100, 49, false},
+	}
+	for _, c := range cases {
+		if got := c.slo.Check(c.sent, c.delivered, lat); got != c.want {
+			t.Errorf("%s: Check(%d, %d) = %v, want %v", c.name, c.sent, c.delivered, got, c.want)
+		}
+	}
+}
+
+// TestSLOCheckMatchesReport: Report's SLOPass column is exactly
+// SLO.Check over the same counters — the scenario assertion layer and
+// the scorecard verdict can never disagree.
+func TestSLOCheckMatchesReport(t *testing.T) {
+	s := NewScoreSet()
+	slo := SLO{Quantile: 0.95, MaxLatency: 0.5, MinDeliveryRatio: 0.8}
+	id := s.Flow("data", slo)
+	for i := 0; i < 10; i++ {
+		s.Sent(id)
+	}
+	for i := 0; i < 9; i++ {
+		s.Delivered(id, 0.010)
+	}
+	lat := NewHist()
+	for i := 0; i < 9; i++ {
+		lat.Observe(0.010)
+	}
+	if r := s.Report(id); r.SLOPass != slo.Check(10, 9, lat) || !r.SLOPass {
+		t.Fatalf("Report SLOPass = %v, want the SLO.Check verdict (true)", r.SLOPass)
+	}
+	// Push the ratio below the floor: both verdicts must flip together.
+	for i := 0; i < 40; i++ {
+		s.Sent(id)
+	}
+	if r := s.Report(id); r.SLOPass != slo.Check(50, 9, lat) || r.SLOPass {
+		t.Fatalf("Report SLOPass = %v, want the SLO.Check verdict (false)", r.SLOPass)
+	}
+}

@@ -53,33 +53,55 @@ func Poisson(k *sim.Kernel, rng *sim.RNG, rate float64, emit func(seq int)) (sto
 	return func() { stopped = true }
 }
 
+// Zipf is a reusable Zipf(s) index sampler over {0..n-1}: the harmonic
+// CDF is precomputed once at construction, and each Draw costs one
+// uniform plus a binary search — allocation-free and safe for concurrent
+// draws from distinct RNGs, since Draw only reads the CDF.
+type Zipf struct {
+	cdf []float64
+	h   float64
+}
+
+// NewZipf builds a sampler over n indexes with skew s (> 0; larger s
+// concentrates mass on low indexes).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("workload: empty catalog")
+	}
+	z := &Zipf{cdf: make([]float64, n)}
+	for i := 1; i <= n; i++ {
+		z.h += 1 / math.Pow(float64(i), s)
+		z.cdf[i-1] = z.h
+	}
+	return z
+}
+
+// Draw samples one index from rng. 0 allocs/op.
+//
+//viator:noalloc
+func (z *Zipf) Draw(rng *sim.RNG) int {
+	u := rng.Float64() * z.h
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // ZipfRequests generates content requests over a catalog of n objects
 // with Zipf(s) popularity at the given rate. Keys are "obj-<i>" with
 // low i the popular objects — the cache-role workload.
 func ZipfRequests(k *sim.Kernel, rng *sim.RNG, n int, s, rate float64, emit func(roles.Chunk)) (stop func()) {
-	if n <= 0 {
-		panic("workload: empty catalog")
-	}
-	// Precompute the harmonic CDF once; rng.Zipf would rescan per draw.
-	cdf := make([]float64, n)
-	var h float64
-	for i := 1; i <= n; i++ {
-		h += 1 / math.Pow(float64(i), s)
-		cdf[i-1] = h
-	}
+	z := NewZipf(n, s)
 	seq := 0
 	return Poisson(k, rng, rate, func(int) {
-		u := rng.Float64() * h
-		lo, hi := 0, n-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cdf[mid] < u {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		emit(roles.Chunk{Stream: "req", Seq: seq, Key: fmt.Sprintf("obj-%d", lo), Meta: "request"})
+		obj := z.Draw(rng)
+		emit(roles.Chunk{Stream: "req", Seq: seq, Key: fmt.Sprintf("obj-%d", obj), Meta: "request"})
 		seq++
 	})
 }

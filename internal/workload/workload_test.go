@@ -155,3 +155,37 @@ func TestSensorFieldCoverageAndJitter(t *testing.T) {
 		t.Fatal("sensors synchronized despite jitter")
 	}
 }
+
+func TestZipfDraw(t *testing.T) {
+	const n, draws = 100, 20000
+	z := NewZipf(n, 1.2)
+	rng := sim.NewRNG(42)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		idx := z.Draw(rng)
+		if idx < 0 || idx >= n {
+			t.Fatalf("Draw out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	// Skew: index 0 must dominate the tail's most popular element.
+	if counts[0] <= counts[n/2] {
+		t.Fatalf("no Zipf skew: counts[0]=%d counts[%d]=%d", counts[0], n/2, counts[n/2])
+	}
+	// Determinism: same seed, same draw stream.
+	r1, r2 := sim.NewRNG(7), sim.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a, b := z.Draw(r1), z.Draw(r2); a != b {
+			t.Fatalf("draw %d: %d != %d with equal seeds", i, a, b)
+		}
+	}
+}
+
+func TestZipfPanicsOnEmptyCatalog(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, 1) should panic")
+		}
+	}()
+	NewZipf(0, 1)
+}

@@ -204,11 +204,16 @@ func DefaultRegistry() *Registry {
 		Ablation: true, Run: AblationHysteresis, Check: wantRows(6)})
 	r.Register(Experiment{ID: "A4", Title: "Ablation — fact half-life (Definition 3.3)",
 		Ablation: true, Run: AblationFactHalfLife, Check: wantRows(5)})
+	// The stress scenarios are compiled from the embedded DSL specs
+	// (scenarios/s1.json, s2.json) — the same compiler that runs
+	// file-loaded specs via `viatorbench -scenario`.
 	r.Register(Experiment{ID: "S1", Title: "Stress — metropolis: 1000 mobile ships, churn + self-healing under load",
-		Stress: true, Run: func(s uint64) *Table { return RunS1(s).Table() }, Check: wantRows(5),
-		Telemetry: func(s uint64) *telemetry.Dump { return RunS1(s).Dump }})
+		Stress: true, Run: func(s uint64) *Table { return scenarioS1.Run(s).Table() },
+		Check:     wantRows(scenarioS1.Spec.NumRows()),
+		Telemetry: func(s uint64) *telemetry.Dump { return scenarioS1.Run(s).Dump }})
 	r.Register(Experiment{ID: "S2", Title: "Stress — megalopolis: 10,000 mobile ships, district traffic, churn + self-healing",
-		Stress: true, Run: func(s uint64) *Table { return RunS2(s).Table() }, Check: wantRows(5),
-		Telemetry: func(s uint64) *telemetry.Dump { return RunS2(s).Dump }})
+		Stress: true, Run: func(s uint64) *Table { return scenarioS2.Run(s).Table() },
+		Check:     wantRows(scenarioS2.Spec.NumRows()),
+		Telemetry: func(s uint64) *telemetry.Dump { return scenarioS2.Run(s).Dump }})
 	return r
 }

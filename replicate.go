@@ -104,22 +104,36 @@ func replicateOne(e Experiment, reps int, baseSeed uint64, workers int) (*Replic
 		return replicate{seed: seed, tb: tb, err: err}
 	}
 	runs := sim.RunParallel(reps, replicateSeed(baseSeed, e.ID), workers, trial)
-	agg := &Replicated{ID: e.ID, Title: e.Title, Reps: reps, BaseSeed: baseSeed}
+	seeds := make([]uint64, len(runs))
+	tables := make([]*Table, len(runs))
 	for i, run := range runs {
 		if run.err != nil {
 			return nil, fmt.Errorf("%s replicate %d (seed %d): %w", e.ID, i, run.seed, run.err)
 		}
-		if run.tb == nil {
-			return nil, fmt.Errorf("%s replicate %d (seed %d): Run returned a nil table", e.ID, i, run.seed)
-		}
-		agg.Seeds = append(agg.Seeds, run.seed)
+		seeds[i] = run.seed
+		tables[i] = run.tb
 	}
-	agg.Headers = runs[0].tb.Headers()
-	nRows := runs[0].tb.NumRows()
-	for i, run := range runs {
-		if run.tb.NumRows() != nRows {
+	return aggregateReplicates(e.ID, e.Title, reps, baseSeed, seeds, tables)
+}
+
+// aggregateReplicates folds shape-stable replicate tables (replicate
+// order, with their seeds) into the mean ± CI95 aggregate. Shared by the
+// registry path (replicateOne) and the scenario path
+// (RunScenarioReplicated), so both render replicates identically.
+func aggregateReplicates(id, title string, reps int, baseSeed uint64, seeds []uint64, tables []*Table) (*Replicated, error) {
+	agg := &Replicated{ID: id, Title: title, Reps: reps, BaseSeed: baseSeed}
+	for i, tb := range tables {
+		if tb == nil {
+			return nil, fmt.Errorf("%s replicate %d (seed %d): Run returned a nil table", id, i, seeds[i])
+		}
+		agg.Seeds = append(agg.Seeds, seeds[i])
+	}
+	agg.Headers = tables[0].Headers()
+	nRows := tables[0].NumRows()
+	for i, tb := range tables {
+		if tb.NumRows() != nRows {
 			return nil, fmt.Errorf("%s replicate %d (seed %d): %d rows, replicate 0 had %d — tables must be shape-stable to aggregate",
-				e.ID, i, run.seed, run.tb.NumRows(), nRows)
+				id, i, seeds[i], tb.NumRows(), nRows)
 		}
 	}
 	nCols := len(agg.Headers)
@@ -127,8 +141,8 @@ func replicateOne(e Experiment, reps int, baseSeed uint64, workers int) (*Replic
 		cells := make([]RepCell, nCols)
 		for col := 0; col < nCols; col++ {
 			raw := make([]string, reps)
-			for i, run := range runs {
-				raw[i] = run.tb.Cell(row, col)
+			for i, tb := range tables {
+				raw[i] = tb.Cell(row, col)
 			}
 			cells[col] = aggregateCell(raw)
 		}

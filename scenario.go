@@ -1,0 +1,573 @@
+package viator
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+
+	"viator/internal/metamorph"
+	"viator/internal/mobility"
+	"viator/internal/roles"
+	"viator/internal/scenario"
+	"viator/internal/ship"
+	"viator/internal/shuttle"
+	"viator/internal/sim"
+	"viator/internal/stats"
+	"viator/internal/telemetry"
+	"viator/internal/topo"
+	"viator/internal/workload"
+)
+
+// The scenario compiler: lowers a validated internal/scenario spec onto
+// the Network machinery. The stress scenarios S1 and S2 are themselves
+// specs (scenarios/s1.json, s2.json, embedded below), and the compiled
+// runner reproduces the retired hand-written RunS1/RunS2 byte-for-byte:
+// its arming sequence performs the same kernel registrations and RNG
+// splits in the same order — mobility model split first, then one shared
+// churn+traffic stream split after the jets — so the golden tables and
+// telemetry exports pinned in testdata/scenario are unchanged.
+//
+// Determinism contract: a (spec, seed) pair fully determines the run.
+// Compilation is pure; everything seed-dependent happens inside Run on
+// the per-run kernel RNG, and replicate fan-out reuses the registry's
+// seed-stream discipline (replicateSeed + sim.RunParallel), so tables,
+// telemetry and assertion verdicts are byte-identical for any worker
+// count.
+
+// Scenario is one compiled spec, ready to run for any seed. Compiled
+// state is read-only after CompileScenario, so one Scenario may run many
+// replicates concurrently.
+type Scenario struct {
+	// Spec is the validated source spec (not copied; treat as immutable).
+	Spec *scenario.Spec
+
+	jets []scenarioJet
+	slo  telemetry.SLO
+	// zipf holds one precomputed sampler per hotspot traffic entry
+	// (nil elsewhere): the harmonic CDF depends only on the spec, so it
+	// is built once here, never per replicate.
+	zipf []*workload.Zipf
+}
+
+type scenarioJet struct {
+	at     int
+	kind   roles.Kind
+	fanout int
+}
+
+// CompileScenario validates sp and resolves it into a runnable Scenario.
+func CompileScenario(sp *scenario.Spec) (*Scenario, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	sc := &Scenario{
+		Spec: sp,
+		slo: telemetry.SLO{
+			Quantile:         sp.SLO.Quantile,
+			MaxLatency:       sp.SLO.MaxLatency,
+			MinDeliveryRatio: sp.SLO.MinDeliveryRatio,
+		},
+	}
+	for _, j := range sp.Jets {
+		k, ok := roles.KindByName(j.Role)
+		if !ok {
+			// Unreachable after Validate; kept as a belt against drift.
+			return nil, fmt.Errorf("viator: unknown role %q", j.Role)
+		}
+		sc.jets = append(sc.jets, scenarioJet{at: j.At, kind: k, fanout: j.Fanout})
+	}
+	sc.zipf = make([]*workload.Zipf, len(sp.Traffic))
+	for i := range sp.Traffic {
+		if sp.Traffic[i].Kind == scenario.TrafficHotspot {
+			sc.zipf[i] = workload.NewZipf(sp.Ships, sp.Traffic[i].Exponent)
+		}
+	}
+	return sc, nil
+}
+
+// ParseScenario parses, validates and compiles a spec in one step — the
+// entry point for file-loaded scenarios (viatorbench -scenario).
+func ParseScenario(data []byte) (*Scenario, error) {
+	sp, err := scenario.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return CompileScenario(sp)
+}
+
+// ScenarioRow is one checkpoint of a scenario run (the S1/S2 row shape).
+type ScenarioRow struct {
+	T          float64
+	AliveFrac  float64 // fleet slots currently alive
+	LinksUp    int     // directed radio links up at the checkpoint
+	Delivered  uint64  // shuttles docked so far
+	Lost       uint64  // shuttles lost so far (no route, drop, dead dock)
+	Repairs    uint64  // self-healing resurrections so far
+	Partitions uint64  // connectivity refreshes that left the fleet split
+	Entropy    float64 // role differentiation across the alive fleet
+
+	// QoS columns from the telemetry scorecard: cumulative default-flow
+	// latency quantiles (milliseconds) and the SLO verdict (1 pass,
+	// 0 fail) at the checkpoint.
+	P50ms, P95ms, P99ms float64
+	SLOOK               float64
+}
+
+// ScenarioResult is one run's trajectory, telemetry and verdicts.
+type ScenarioResult struct {
+	Title string
+	Rows  []ScenarioRow
+	// Dump is the run's exportable telemetry (recorder series, latency
+	// and queue-depth histograms, QoS scorecards).
+	Dump *telemetry.Dump
+	// Verdicts are the spec's assertions evaluated against the finished
+	// run, in spec order (flow assertions first, then scenario-level).
+	Verdicts []scenario.Verdict
+}
+
+// Pass reports whether every assertion held.
+func (r *ScenarioResult) Pass() bool { return scenario.AllPass(r.Verdicts) }
+
+// Table renders the trajectory in the S1/S2 column layout.
+func (r *ScenarioResult) Table() *stats.Table {
+	t := stats.NewTable(r.Title,
+		"t (s)", "alive frac", "links up", "delivered", "lost", "repairs", "partitions", "role entropy",
+		"p50 (ms)", "p95 (ms)", "p99 (ms)", "SLO ok")
+	for _, row := range r.Rows {
+		t.AddRow(row.T, row.AliveFrac, row.LinksUp,
+			float64(row.Delivered), float64(row.Lost),
+			float64(row.Repairs), float64(row.Partitions), row.Entropy,
+			row.P50ms, row.P95ms, row.P99ms, row.SLOOK)
+	}
+	return t
+}
+
+// run-local state threaded through the arming helpers.
+type scenarioRun struct {
+	sc  *Scenario
+	n   *Network
+	tel *Telemetry
+	// mob/model are set for mobile arenas; pos for static ones.
+	mob    *Mobility
+	model  *mobility.RandomWaypoint
+	pos    []topo.Point
+	healer *Healer
+	// rng is the shared churn+traffic stream (split after the jets,
+	// matching the retired hand-written scenarios).
+	rng *sim.RNG
+}
+
+// inWindow gates an emission to the [start, stop) window; stop 0 means
+// forever. Generators outside their window skip the slot without drawing
+// from the RNG, so the gate itself is part of the deterministic replay.
+func inWindow(now, start, stop float64) bool {
+	return now >= start && (stop == 0 || now < stop)
+}
+
+// positions returns the fleet positions the traffic/fault geometry sees.
+func (r *scenarioRun) positions() []topo.Point {
+	if r.model != nil {
+		return r.model.Positions()
+	}
+	return r.pos
+}
+
+// linksUp counts directed up links. Mobile arenas read the refresher's
+// count; static ones scan the (small, fixed) link table.
+func (r *scenarioRun) linksUp() int {
+	if r.mob != nil {
+		return r.mob.LinksUp
+	}
+	up := 0
+	for i := 0; i < r.n.G.Links(); i++ {
+		if r.n.G.Link(i).Up {
+			up++
+		}
+	}
+	return up
+}
+
+// partitions counts refreshes that left the fleet split (mobile only;
+// static arenas have no periodic refresh to probe).
+func (r *scenarioRun) partitions() uint64 {
+	if r.mob != nil {
+		return r.mob.Partitions
+	}
+	return 0
+}
+
+// repairs reads the healer counter, 0 when healing is disarmed.
+func (r *scenarioRun) repairs() uint64 {
+	if r.healer != nil {
+		return r.healer.Repairs
+	}
+	return 0
+}
+
+// Run executes the scenario for one seed.
+func (sc *Scenario) Run(seed uint64) *ScenarioResult {
+	sp := sc.Spec
+	cfg := DefaultConfig(sp.Ships, seed)
+	cfg.UnfairFraction = sp.UnfairFraction
+	// Radio-range topology from the arena's own positions; the default
+	// Waxman generator would be far denser than a city radio mesh.
+	g := topo.New()
+	g.AddNodes(sp.Ships)
+	cfg.Graph = g
+	n := NewNetwork(cfg)
+
+	r := &scenarioRun{sc: sc, n: n}
+	switch sp.Arena.Kind {
+	case scenario.ArenaMobile:
+		r.model = mobility.NewRandomWaypoint(sp.Ships, sp.Arena.Side,
+			sp.Arena.MinSpeed, sp.Arena.MaxSpeed, sp.Arena.Pause, n.K.Rand.Split())
+		r.mob = n.EnableMobility(r.model, sp.Arena.Radius, sp.Arena.Refresh)
+		r.mob.RefreshNow()
+	case scenario.ArenaStatic:
+		// Positions are drawn once from their own split — the static
+		// arena's analogue of the mobility model's stream — and the link
+		// table is synthesized in one pass. No periodic refresh runs, so
+		// injected link faults persist until a rejoin fault undoes them.
+		prng := n.K.Rand.Split()
+		r.pos = make([]topo.Point, sp.Ships)
+		for i := range r.pos {
+			r.pos[i] = topo.Point{X: prng.Float64() * sp.Arena.Side, Y: prng.Float64() * sp.Arena.Side}
+		}
+		mobility.Connectivity(g, r.pos, sp.Arena.Radius)
+	}
+	n.Router.Pulse()
+	n.StartPulses(sp.PulsePeriod)
+	if sp.HealPeriod > 0 {
+		r.healer = n.EnableSelfHealing(sp.HealPeriod)
+	}
+
+	// Telemetry: fixed-memory sinks plus the flight-recorder tick.
+	// Strictly observational — a scenario's pre-telemetry columns replay
+	// byte-identical (pinned by the cross-worker CI gates).
+	r.tel = n.EnableTelemetry(TelemetryConfig{Tick: sp.TelemetryTick, SLO: sc.slo})
+	r.tel.Rec.Gauge("links.up", func() float64 { return float64(r.linksUp()) })
+	if r.healer != nil {
+		r.tel.Rec.CounterFn("healer.repairs", func() float64 { return float64(r.healer.Repairs) })
+	}
+
+	// Role deployment: epidemic jets seed functional differentiation.
+	for _, j := range sc.jets {
+		n.InjectJet(j.at, j.kind, j.fanout)
+	}
+
+	// One shared stream for churn and every traffic generator, split
+	// after the jets — the retired RunS1/RunS2 split order, which the
+	// golden byte-identity tests pin.
+	r.rng = n.K.Rand.Split()
+
+	if c := sp.Churn; c != nil {
+		n.K.Every(c.Period, func() {
+			if !inWindow(n.K.Now(), c.Start, c.Stop) {
+				return
+			}
+			i := r.rng.Intn(sp.Ships)
+			if n.Ships[i].State() == ship.Alive {
+				n.Ships[i].Kill()
+			}
+		})
+	}
+
+	for i := range sp.Traffic {
+		r.armTraffic(&sp.Traffic[i], sc.zipf[i])
+	}
+	for _, f := range sp.Faults {
+		f := f
+		n.K.At(f.At, func() { r.applyFault(f) })
+	}
+
+	res := &ScenarioResult{Title: sp.Title}
+	for t := sp.RowEvery; t <= sp.Horizon; t += sp.RowEvery {
+		t := t
+		n.K.At(t, func() {
+			qos := r.tel.Report("")
+			slo := 0.0
+			if qos.SLOPass {
+				slo = 1
+			}
+			res.Rows = append(res.Rows, ScenarioRow{
+				T:          t,
+				AliveFrac:  n.AliveFraction(),
+				LinksUp:    r.linksUp(),
+				Delivered:  n.DeliveredShuttles,
+				Lost:       n.LostShuttles,
+				Repairs:    r.repairs(),
+				Partitions: r.partitions(),
+				Entropy:    metamorph.RoleEntropy(n.Ships),
+				P50ms:      qos.P50 * 1e3,
+				P95ms:      qos.P95 * 1e3,
+				P99ms:      qos.P99 * 1e3,
+				SLOOK:      slo,
+			})
+		})
+	}
+	n.Run(sp.Horizon)
+	n.StopPulses()
+	r.tel.Stop()
+	res.Dump = r.tel.Dump()
+	res.Verdicts = r.evaluate()
+	return res
+}
+
+// armTraffic schedules one traffic generator. Every per-slot closure
+// draws only from the shared run stream and sends through the standard
+// shuttle path, so generators compose without perturbing each other's
+// schedules — only the stream consumption interleaves, deterministically.
+func (r *scenarioRun) armTraffic(tr *scenario.Traffic, zipf *workload.Zipf) {
+	n, sp, rng := r.n, r.sc.Spec, r.rng
+	send := func(src, dst int) {
+		n.SendShuttle(n.NewShuttle(shuttle.Data, src, dst), tr.Overlay)
+	}
+	gated := func() bool { return inWindow(n.K.Now(), tr.Start, tr.Stop) }
+	switch tr.Kind {
+	case scenario.TrafficUniform:
+		n.K.Every(tr.Period, func() {
+			if !gated() {
+				return
+			}
+			src, dst := rng.Intn(sp.Ships), rng.Intn(sp.Ships)
+			if src != dst {
+				send(src, dst)
+			}
+		})
+	case scenario.TrafficDistrict:
+		tries := tr.Tries
+		if tries == 0 {
+			tries = 64
+		}
+		maxDist := tr.MaxDist
+		n.K.Every(tr.Period, func() {
+			if !gated() {
+				return
+			}
+			src := rng.Intn(sp.Ships)
+			pos := r.positions()
+			for try := 0; try < tries; try++ {
+				dst := rng.Intn(sp.Ships)
+				if dst == src || pos[src].Dist(pos[dst]) > maxDist {
+					continue
+				}
+				send(src, dst)
+				break
+			}
+		})
+	case scenario.TrafficPoisson:
+		workload.Poisson(n.K, rng, tr.Rate, func(int) {
+			if !gated() {
+				return
+			}
+			src, dst := rng.Intn(sp.Ships), rng.Intn(sp.Ships)
+			if src != dst {
+				send(src, dst)
+			}
+		})
+	case scenario.TrafficHotspot:
+		n.K.Every(tr.Period, func() {
+			if !gated() {
+				return
+			}
+			src := rng.Intn(sp.Ships)
+			dst := zipf.Draw(rng)
+			if src != dst {
+				send(src, dst)
+			}
+		})
+	case scenario.TrafficOnOff:
+		workload.OnOff(n.K, rng, flowName(tr.Overlay),
+			tr.Rate*float64(scenarioChunkBytes), tr.OnMean, tr.OffMean, scenarioChunkBytes,
+			func(roles.Chunk) {
+				if !gated() {
+					return
+				}
+				send(tr.Src, tr.Dst)
+			})
+	case scenario.TrafficCBR:
+		workload.CBR(n.K, flowName(tr.Overlay),
+			tr.Rate*float64(scenarioChunkBytes), scenarioChunkBytes,
+			func(roles.Chunk) {
+				if !gated() {
+					return
+				}
+				send(tr.Src, tr.Dst)
+			})
+	}
+}
+
+// scenarioChunkBytes sizes the workload-generator chunks whose cadence
+// carries onoff/cbr shuttle traffic: Rate shuttles/s at this chunk size.
+const scenarioChunkBytes = 1000
+
+// applyFault injects one scheduled fault. Faults that change the link
+// table re-pulse the router immediately so traffic reacts at the fault
+// instant rather than the next pulse tick.
+func (r *scenarioRun) applyFault(f scenario.Fault) {
+	n, g := r.n, r.n.G
+	switch f.Kind {
+	case scenario.FaultPartition, scenario.FaultRejoin:
+		up := f.Kind == scenario.FaultRejoin
+		for li := 0; li < g.Links(); li++ {
+			l := g.Link(li)
+			if (g.Pos(l.From).X < f.Cut) != (g.Pos(l.To).X < f.Cut) {
+				g.SetUp(li, up)
+			}
+		}
+		n.Router.Pulse()
+	case scenario.FaultBlackout:
+		center := topo.Point{X: f.X, Y: f.Y}
+		pos := r.positions()
+		for i, s := range n.Ships {
+			if s.State() == ship.Alive && pos[i].Dist(center) <= f.R {
+				s.Kill()
+			}
+		}
+	case scenario.FaultKillNode:
+		if n.Ships[f.Node].State() == ship.Alive {
+			n.Ships[f.Node].Kill()
+		}
+	case scenario.FaultLinkDown, scenario.FaultLinkUp:
+		up := f.Kind == scenario.FaultLinkUp
+		if li := g.LinkBetween(topo.NodeID(f.From), topo.NodeID(f.To)); li >= 0 {
+			g.SetUp(li, up)
+		}
+		if li := g.LinkBetween(topo.NodeID(f.To), topo.NodeID(f.From)); li >= 0 {
+			g.SetUp(li, up)
+		}
+		n.Router.Pulse()
+	}
+}
+
+// evaluate renders the spec's assertions against the finished run: flow
+// SLO assertions from the telemetry scorecards first (spec order), then
+// the scenario-level predicates in grammar order. Verdict order and text
+// depend only on the spec and the run state, never on evaluation timing.
+func (r *scenarioRun) evaluate() []scenario.Verdict {
+	n, a := r.n, &r.sc.Spec.Asserts
+	var out []scenario.Verdict
+	for _, fa := range a.Flows {
+		f := r.tel.Flow(fa.Flow)
+		rep := r.tel.QoS.Report(f)
+		slo := telemetry.SLO{Quantile: fa.Quantile, MaxLatency: fa.MaxLatency, MinDeliveryRatio: fa.MinDeliveryRatio}
+		pass := slo.Check(rep.Sent, rep.Delivered, r.tel.QoS.Latency(f))
+		detail := fmt.Sprintf("delivered %d/%d (ratio %.3f)", rep.Delivered, rep.Sent, rep.DeliveryRatio)
+		if fa.MaxLatency > 0 {
+			q := r.tel.QoS.Latency(f).Quantile(fa.Quantile)
+			detail += fmt.Sprintf(", p%v latency %.4gs (bound %.4gs)", fa.Quantile*100, q, fa.MaxLatency)
+		}
+		out = append(out, scenario.Verdict{
+			Name:   fmt.Sprintf("flow %q slo", flowName(fa.Flow)),
+			Pass:   pass,
+			Detail: detail,
+		})
+	}
+	if a.MinDelivered > 0 {
+		out = append(out, scenario.Verdict{
+			Name: "min_delivered", Pass: n.DeliveredShuttles >= a.MinDelivered,
+			Detail: fmt.Sprintf("delivered %d (floor %d)", n.DeliveredShuttles, a.MinDelivered),
+		})
+	}
+	if a.MaxLossRatio > 0 {
+		total := n.DeliveredShuttles + n.LostShuttles
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(n.LostShuttles) / float64(total)
+		}
+		out = append(out, scenario.Verdict{
+			Name: "max_loss_ratio", Pass: ratio <= a.MaxLossRatio,
+			Detail: fmt.Sprintf("loss ratio %.3f (cap %.3f)", ratio, a.MaxLossRatio),
+		})
+	}
+	if a.MinAliveFrac > 0 {
+		frac := n.AliveFraction()
+		out = append(out, scenario.Verdict{
+			Name: "min_alive_frac", Pass: frac >= a.MinAliveFrac,
+			Detail: fmt.Sprintf("alive fraction %.3f (floor %.3f)", frac, a.MinAliveFrac),
+		})
+	}
+	if a.MinRepairs > 0 {
+		out = append(out, scenario.Verdict{
+			Name: "min_repairs", Pass: r.repairs() >= a.MinRepairs,
+			Detail: fmt.Sprintf("repairs %d (floor %d)", r.repairs(), a.MinRepairs),
+		})
+	}
+	if a.MinExcluded > 0 {
+		excluded := len(n.Community.ExcludedIDs())
+		out = append(out, scenario.Verdict{
+			Name: "min_excluded", Pass: excluded >= a.MinExcluded,
+			Detail: fmt.Sprintf("excluded %d (floor %d)", excluded, a.MinExcluded),
+		})
+	}
+	return out
+}
+
+// ScenarioID is the registry-style identifier of a compiled scenario
+// (the spec name, uppercased) — the key mixed into the replicate seed
+// stream, so a spec named "s1" replicates with exactly the seeds the
+// registry's S1 entry uses.
+func (sc *Scenario) ScenarioID() string { return strings.ToUpper(sc.Spec.Name) }
+
+// ScenarioReplicate is one replicate's outcome under RunScenarioReplicated.
+type ScenarioReplicate struct {
+	Seed uint64
+	Res  *ScenarioResult
+}
+
+// RunScenarioReplicated runs the scenario reps times fanned over workers
+// goroutines with the registry seed discipline (deterministic per-
+// replicate seeds; reps == 1 replays baseSeed verbatim), returning the
+// aggregated mean±CI table plus every replicate in replicate order —
+// byte-identical output for any worker count.
+func RunScenarioReplicated(sc *Scenario, reps int, baseSeed uint64, workers int) (*Replicated, []ScenarioReplicate, error) {
+	if reps < 1 {
+		return nil, nil, fmt.Errorf("viator: reps = %d, want >= 1", reps)
+	}
+	id := sc.ScenarioID()
+	runs := sim.RunParallel(reps, replicateSeed(baseSeed, id), workers, func(i int, seed uint64) ScenarioReplicate {
+		if reps == 1 {
+			seed = baseSeed
+		}
+		return ScenarioReplicate{Seed: seed, Res: sc.Run(seed)}
+	})
+	seeds := make([]uint64, len(runs))
+	tables := make([]*Table, len(runs))
+	for i, run := range runs {
+		seeds[i] = run.Seed
+		tables[i] = run.Res.Table()
+	}
+	agg, err := aggregateReplicates(id, sc.Spec.Title, reps, baseSeed, seeds, tables)
+	if err != nil {
+		return nil, nil, err
+	}
+	return agg, runs, nil
+}
+
+// Embedded builtin specs: the stress scenarios S1 and S2, expressed in
+// the DSL. The registry compiles them at init, so "the S1 the paper
+// tables cite" and "the s1.json a user edits" can never drift apart.
+//
+//go:embed scenarios/s1.json scenarios/s2.json
+var builtinSpecFS embed.FS
+
+// mustLoadBuiltin compiles one embedded spec; failures are programming
+// errors in the shipped JSON and panic at init.
+func mustLoadBuiltin(path string) *Scenario {
+	data, err := builtinSpecFS.ReadFile(path)
+	if err != nil {
+		panic(err)
+	}
+	sc, err := ParseScenario(data)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// scenarioS1/S2 are the compiled builtin stress scenarios behind the
+// registry's S1/S2 entries.
+var (
+	scenarioS1 = mustLoadBuiltin("scenarios/s1.json")
+	scenarioS2 = mustLoadBuiltin("scenarios/s2.json")
+)

@@ -102,7 +102,7 @@ func TestS1TableHasQoSColumns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full S1 run in -short mode")
 	}
-	res := RunS1(42)
+	res := scenarioS1.Run(42)
 	tb := res.Table()
 	headers := tb.Headers()
 	want := []string{"p50 (ms)", "p95 (ms)", "p99 (ms)", "SLO ok"}
