@@ -234,6 +234,25 @@ func BenchmarkHistMerge(b *testing.B)          { benchprobe.HistMerge(b) }
 func BenchmarkRecorderTick(b *testing.B)       { benchprobe.RecorderTick(b) }
 func BenchmarkScorecardDelivered(b *testing.B) { benchprobe.ScorecardDelivered(b) }
 
+// BenchmarkPrinciples* measure the principle engines' steady-state hot
+// paths at the S2 fleet size, each next to a body doing the
+// pre-refactor per-op work (Describe-based probes, map-keyed pair
+// counts, full-table emergence scans, linear subscription scans) — the
+// speedup evidence for the scale-discipline refactor. Bodies are shared
+// with `viatorbench -bench principles` via internal/benchprobe.
+func BenchmarkPrinciplesGossipRound(b *testing.B)         { benchprobe.GossipRound(42)(b) }
+func BenchmarkPrinciplesGossipRoundDescribe(b *testing.B) { benchprobe.GossipRoundDescribe(42)(b) }
+func BenchmarkPrinciplesFormClustersSteady(b *testing.B)  { benchprobe.FormClustersSteady(42)(b) }
+func BenchmarkPrinciplesFormClustersRebuild(b *testing.B) { benchprobe.FormClustersRebuild(42)(b) }
+func BenchmarkPrinciplesFormClustersScan(b *testing.B)    { benchprobe.FormClustersScan(42)(b) }
+func BenchmarkPrinciplesObserveFacts(b *testing.B)        { benchprobe.ObserveFacts(42)(b) }
+func BenchmarkPrinciplesObserveFactsMap(b *testing.B)     { benchprobe.ObserveFactsMap(42)(b) }
+func BenchmarkPrinciplesEmergeFrontier(b *testing.B)      { benchprobe.EmergeFrontier(42)(b) }
+func BenchmarkPrinciplesEmergeScan(b *testing.B)          { benchprobe.EmergeScan(42)(b) }
+func BenchmarkPrinciplesFeedbackPublishKey(b *testing.B)  { benchprobe.FeedbackPublishKey(b) }
+func BenchmarkPrinciplesFeedbackPublishScan(b *testing.B) { benchprobe.FeedbackPublishScan(b) }
+func BenchmarkPrinciplesMetamorphPulse(b *testing.B)      { benchprobe.MetamorphPulse(42)(b) }
+
 func BenchmarkRoleFusionPipeline(b *testing.B) {
 	f := roles.NewFuser(4, 0.25)
 	c := roles.Chunk{Stream: "s", Bytes: 1000}

@@ -13,14 +13,16 @@
 // suite. The process exits 1 if any replicate fails an assertion and 2
 // for unparseable or invalid specs, so scenario suites gate CI directly.
 //
-// -bench <kernel|routing|mobility|telemetry|all> switches to the
+// -bench <kernel|routing|mobility|telemetry|principles|all> switches to the
 // micro-benchmark suites, emitting a JSON document (the BENCH_<suite>.json
 // artifacts tracked by CI) instead of tables: `kernel` times the kernel
 // schedule/fire path, the per-packet send path and a replicated E1 run;
 // `routing` the adaptive control plane at S1 scale; `mobility` the
 // physical-layer connectivity refreshes; `telemetry` the streaming
-// histogram, flight recorder and QoS scorecard hot paths; `all` every
-// suite in one document. A bare `-bench` and the old `-bench-routing`/
+// histogram, flight recorder and QoS scorecard hot paths; `principles`
+// the principle engines (gossip, clustering, resonance, feedback,
+// metamorphosis) at the S2 fleet size, each paired with its
+// pre-refactor per-op cost; `all` every suite in one document. A bare `-bench` and the old `-bench-routing`/
 // `-bench-mobility` booleans survive as deprecated aliases for `-bench
 // kernel`/`-bench routing`/`-bench mobility`.
 //
@@ -36,7 +38,7 @@
 //
 //	viatorbench [-seed N] [-reps N] [-workers K] [-csv|-json] [-only E5,E11] [-ablations] [-stress] [-list]
 //	viatorbench -scenario file.json | -scenario-dir dir [-seed N] [-reps N] [-workers K]
-//	viatorbench -bench <kernel|routing|mobility|telemetry|all>
+//	viatorbench -bench <kernel|routing|mobility|telemetry|principles|all>
 //	viatorbench -telemetry out.jsonl [-only S1] [-reps N] [-workers K]
 package main
 
@@ -59,7 +61,8 @@ import (
 
 // benchSelectors are the valid -bench suite names.
 var benchSelectors = map[string]bool{
-	"kernel": true, "routing": true, "mobility": true, "telemetry": true, "all": true,
+	"kernel": true, "routing": true, "mobility": true, "telemetry": true,
+	"principles": true, "all": true,
 }
 
 // benchFlag is the -bench selector. It keeps bool-flag semantics so the
@@ -146,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// A stray positional arg is almost always a typo'd -bench selector
 		// (bool-flag semantics would otherwise silently run the kernel
 		// suite); refuse instead of guessing.
-		fmt.Fprintf(stderr, "viatorbench: unexpected argument %q (valid -bench suites: kernel, routing, mobility, telemetry, all)\n", fs.Arg(0))
+		fmt.Fprintf(stderr, "viatorbench: unexpected argument %q (valid -bench suites: kernel, routing, mobility, telemetry, principles, all)\n", fs.Arg(0))
 		return 2
 	}
 
@@ -375,6 +378,9 @@ func runBenchSuite(suite string, seed uint64, workers int, stdout, stderr io.Wri
 	if suite == "telemetry" || suite == "all" {
 		specs = append(specs, benchTelemetry()...)
 	}
+	if suite == "principles" || suite == "all" {
+		specs = append(specs, benchPrinciplesSuite(seed)...)
+	}
 	var results []benchResult
 	for _, s := range specs {
 		r, ok := record(s.name, s.fn)
@@ -455,6 +461,28 @@ func benchTelemetry() []benchSpec {
 		{"telemetry.hist_merge", benchprobe.HistMerge},
 		{"telemetry.recorder_tick", benchprobe.RecorderTick},
 		{"telemetry.scorecard_delivered", benchprobe.ScorecardDelivered},
+	}
+}
+
+// benchPrinciplesSuite is the principle-engine suite
+// (BENCH_principles.json): each engine's steady-state hot path at the
+// S2 fleet size next to a body doing the pre-refactor per-op work, so
+// the artifact carries the speedup evidence for the scale-discipline
+// refactor.
+func benchPrinciplesSuite(seed uint64) []benchSpec {
+	return []benchSpec{
+		{"principles.gossip_round", benchprobe.GossipRound(seed)},
+		{"principles.gossip_round_describe", benchprobe.GossipRoundDescribe(seed)},
+		{"principles.form_clusters_steady", benchprobe.FormClustersSteady(seed)},
+		{"principles.form_clusters_rebuild", benchprobe.FormClustersRebuild(seed)},
+		{"principles.form_clusters_scan", benchprobe.FormClustersScan(seed)},
+		{"principles.observe_facts", benchprobe.ObserveFacts(seed)},
+		{"principles.observe_facts_map", benchprobe.ObserveFactsMap(seed)},
+		{"principles.emerge_frontier", benchprobe.EmergeFrontier(seed)},
+		{"principles.emerge_scan", benchprobe.EmergeScan(seed)},
+		{"principles.feedback_publish_key", benchprobe.FeedbackPublishKey},
+		{"principles.feedback_publish_scan", benchprobe.FeedbackPublishScan},
+		{"principles.metamorph_pulse", benchprobe.MetamorphPulse(seed)},
 	}
 }
 

@@ -76,7 +76,7 @@ func TestBenchFlagSet(t *testing.T) {
 	if err := b.Set("false"); err != nil || b.suite != "" {
 		t.Fatalf("-bench=false: suite=%q err=%v, want empty", b.suite, err)
 	}
-	for _, s := range []string{"kernel", "routing", "mobility", "telemetry", "all"} {
+	for _, s := range []string{"kernel", "routing", "mobility", "telemetry", "principles", "all"} {
 		if err := b.Set(s); err != nil || b.suite != s {
 			t.Fatalf("-bench=%s: suite=%q err=%v", s, b.suite, err)
 		}

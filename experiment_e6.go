@@ -85,7 +85,7 @@ func runLadderGen(gen int, seed uint64) E6Row {
 	perm := rng.Perm(e6Fleet)
 	dead := perm[:e6Kill]
 	for _, i := range dead {
-		n.Ships[i].Kill()
+		n.KillShip(i)
 	}
 
 	serving := func() (count, hwCount, alive int) {
@@ -183,7 +183,7 @@ func forceRole(s *ship.Ship, k roles.Kind, n *Network) {
 	// ship; the factory role is burned in before deployment).
 	for i, old := range n.Ships {
 		if old == s {
-			old.Kill()
+			n.KillShip(i)
 			n.Ships[i] = tmp
 			return
 		}

@@ -64,6 +64,8 @@ func RunE2(seed uint64) *E2Result {
 	}
 
 	const epochs = 30
+	var sweepBuf []kq.FactID
+	var outstanding metamorph.Outstanding
 	for epoch := 0; epoch < epochs; epoch++ {
 		now := float64(epoch)
 		for i, s := range n.Ships {
@@ -83,12 +85,13 @@ func RunE2(seed uint64) *E2Result {
 		migrations, _ := eng.HorizontalPulse(demand)
 		for _, s := range n.Ships {
 			if s.State() == ship.Alive {
-				s.KB.Sweep(now)
+				sweepBuf = s.KB.SweepInto(sweepBuf, now)
 			}
 		}
 		res.Epochs = append(res.Epochs, epoch)
-		res.Entropy = append(res.Entropy, metamorph.RoleEntropy(n.Ships))
-		res.DistinctRole = append(res.DistinctRole, len(metamorph.OutstandingNetworks(n.Ships)))
+		res.Entropy = append(res.Entropy, eng.RoleEntropy())
+		eng.OutstandingInto(&outstanding)
+		res.DistinctRole = append(res.DistinctRole, outstanding.Distinct)
 		res.Migrations = append(res.Migrations, migrations)
 		n.K.Run(now + 1)
 	}

@@ -1,0 +1,155 @@
+package viator
+
+import (
+	"testing"
+
+	"viator/internal/ployon"
+	"viator/internal/ship"
+	"viator/internal/sim"
+)
+
+// refHealer retains the pre-overhaul full-fleet-scan healing pulse
+// verbatim as the oracle for the dead-list rewrite. The scan semantics
+// it pins: slots are visited in fleet order; dead ships beyond the
+// per-pulse quota are skipped without consuming an id or counting a
+// failure; unrepairable ships burn one nextID per pulse and are
+// re-counted as failures every pulse.
+type refHealer struct {
+	net                *Network
+	MaxRepairsPerPulse int
+	nextID             ployon.ID
+	Repairs            uint64
+	Failures           uint64
+}
+
+func (h *refHealer) pulse() {
+	n := h.net
+	repaired := 0
+	for i, s := range n.Ships {
+		if s.State() != ship.Dead || repaired >= h.MaxRepairsPerPulse {
+			continue
+		}
+		h.nextID++
+		reborn, err := n.Community.Repair(s.ID, h.nextID, n.Now())
+		if err != nil {
+			h.Failures++
+			continue
+		}
+		n.Ships[i] = reborn
+		n.Morph.Ships[i] = reborn
+		repaired++
+		h.Repairs++
+		n.Trace.Add(n.Now(), "heal", "ship %d reborn as %d (donor genome)", s.ID, reborn.ID)
+	}
+}
+
+// TestHealerMatchesFullScanOracle runs twin networks — one healed by the
+// dead-list Healer, one by the verbatim old full-fleet scan — through an
+// identical random churn schedule (slot 0 is a singleton class, so its
+// death is permanently unrepairable and exercises the retry/failure
+// path) and demands identical repairs, failures, id assignment and
+// final fleets.
+func TestHealerMatchesFullScanOracle(t *testing.T) {
+	build := func() *Network {
+		cfg := DefaultConfig(16, 77)
+		cfg.ClassOf = func(i int) ployon.Class {
+			if i == 0 {
+				return ployon.ClassRelay // no donor: repair always fails
+			}
+			return ployon.Class(1 + i%2)
+		}
+		n := NewNetwork(cfg)
+		n.StartPulses(0.5)
+		return n
+	}
+	nA, nB := build(), build()
+	hA := nA.EnableSelfHealing(1.0)
+	hB := &refHealer{net: nB, MaxRepairsPerPulse: hA.MaxRepairsPerPulse, nextID: ployon.ID(len(nB.Ships)) * 1000}
+	nB.K.Every(1.0, func() { hB.pulse() })
+
+	churn := func(n *Network, rng *sim.RNG) func() {
+		return func() {
+			// Burst kills so pulses regularly exceed the repair quota.
+			for k := 0; k < 3; k++ {
+				v := rng.Intn(len(n.Ships))
+				if n.Ships[v].State() == ship.Alive {
+					n.KillShip(v)
+				}
+			}
+		}
+	}
+	nA.K.Every(0.7, churn(nA, nA.K.Rand.Split()))
+	nB.K.Every(0.7, churn(nB, nB.K.Rand.Split()))
+
+	for stop := 2.0; stop <= 30; stop += 2 {
+		nA.Run(stop)
+		nB.Run(stop)
+		if hA.Repairs != hB.Repairs || hA.Failures != hB.Failures || hA.nextID != hB.nextID {
+			t.Fatalf("t=%v: healer (r=%d f=%d next=%d) != oracle (r=%d f=%d next=%d)",
+				stop, hA.Repairs, hA.Failures, hA.nextID, hB.Repairs, hB.Failures, hB.nextID)
+		}
+		for i := range nA.Ships {
+			if nA.Ships[i].ID != nB.Ships[i].ID || nA.Ships[i].State() != nB.Ships[i].State() {
+				t.Fatalf("t=%v slot %d: ship %d/%v != oracle %d/%v", stop, i,
+					nA.Ships[i].ID, nA.Ships[i].State(), nB.Ships[i].ID, nB.Ships[i].State())
+			}
+		}
+	}
+	if hA.Repairs == 0 {
+		t.Fatal("churn schedule produced no repairs; oracle comparison is vacuous")
+	}
+	if hA.Failures == 0 {
+		t.Fatal("singleton class never failed; retry path untested")
+	}
+}
+
+// TestHealerIDsNeverCollide pins the id-allocation claim on the healer:
+// nextID starts at len(Ships)×1000 and increments per repair attempt, so
+// under saturated churn no reborn ship can ever collide with an original
+// id or another reborn's. The test tracks every id that ever occupied a
+// fleet slot and fails on reuse by a different ship object.
+func TestHealerIDsNeverCollide(t *testing.T) {
+	cfg := DefaultConfig(12, 31)
+	cfg.ClassOf = func(i int) ployon.Class { return ployon.ClassServer }
+	n := NewNetwork(cfg)
+	n.StartPulses(0.5)
+	h := n.EnableSelfHealing(0.5)
+	h.MaxRepairsPerPulse = 4
+	rng := n.K.Rand.Split()
+	n.K.Every(0.6, func() {
+		for k := 0; k < 4; k++ { // saturating churn: more deaths than quota
+			v := rng.Intn(len(n.Ships))
+			if n.Ships[v].State() == ship.Alive {
+				n.KillShip(v)
+			}
+		}
+	})
+
+	seen := make(map[ployon.ID]*ship.Ship)
+	for stop := 0.25; stop <= 60; stop += 0.25 {
+		n.Run(stop)
+		for i, s := range n.Ships {
+			if prev, ok := seen[s.ID]; ok && prev != s {
+				t.Fatalf("t=%v slot %d: ship id %d reused by a different ship", stop, i, s.ID)
+			}
+			seen[s.ID] = s
+		}
+	}
+	if h.Repairs < 100 {
+		t.Fatalf("churn not saturated: only %d repairs", h.Repairs)
+	}
+	base := ployon.ID(len(n.Ships)) * 1000
+	reborn := 0
+	for id := range seen {
+		if id >= base {
+			reborn++
+			continue
+		}
+		if id >= ployon.ID(len(n.Ships)) {
+			t.Fatalf("unexpected id %d below the healer's base %d", id, base)
+		}
+	}
+	if reborn == 0 {
+		t.Fatal("no reborn ids observed")
+	}
+}

@@ -8,12 +8,26 @@
 // verification of self-descriptions, excludes persistent misreporters,
 // forms clusters by structural congruence, and repairs ship death by
 // genome replication (the autopoietic survival mechanism).
+//
+// # Scale discipline
+//
+// The community keeps an incrementally-maintained index of non-terminal
+// members (exclusion and death are both terminal: an excluded ship never
+// rejoins and a dead ship never re-births — Repair enrolls a fresh ship
+// under a new id). Terminal members are compacted out of the index the
+// next time it is refreshed, so steady-state rounds scan only the
+// surviving fleet and never re-filter the full enrollment history. The
+// per-round dense view of alive members is built into reusable scratch,
+// making GossipRound, FormClusters and ClustersInto allocation-free in
+// steady state, and FormClusters is additionally gated on a fingerprint
+// of the active membership and shapes: an unchanged fleet re-clusters in
+// O(members) hashing instead of O(members × clusters) congruence tests.
 package cluster
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math"
 
 	"viator/internal/kq"
 	"viator/internal/ployon"
@@ -66,11 +80,34 @@ type Community struct {
 	order   []ployon.ID
 	rng     *sim.RNG
 
+	// idx holds the non-terminal members in enrollment order; terminal
+	// members (excluded or dead) are compacted out on refresh and never
+	// rescanned. Born-but-not-yet-alive members stay indexed (birth is
+	// still ahead of them) and are merely skipped in the dense view.
+	idx []*Member
+	// actScratch is the reusable dense view of alive members built by
+	// refreshActive for the duration of one call.
+	actScratch []*Member
+	// excluded accumulates excluded ids, kept sorted by insertion.
+	excluded []ployon.ID
+
+	// seedScratch reuses the cluster-seed slice across FormClusters calls.
+	seedScratch []*Member
+	// haveFingerprint/lastFingerprint/lastClusters gate FormClusters: when
+	// the active membership and shapes hash to the same fingerprint as the
+	// previous build, the greedy pass is skipped and the cached count
+	// returned (ClusterIDs are already in place and unchanged).
+	haveFingerprint bool
+	lastFingerprint uint64
+	lastClusters    int
+
 	// Probes / Lies count verification outcomes; Repairs counts genome
-	// resurrections.
-	Probes  uint64
-	Lies    uint64
-	Repairs uint64
+	// resurrections; ClusterBuilds counts FormClusters passes that were
+	// not absorbed by the fingerprint gate.
+	Probes        uint64
+	Lies          uint64
+	Repairs       uint64
+	ClusterBuilds uint64
 }
 
 // Community errors.
@@ -89,8 +126,10 @@ func (c *Community) Add(s *ship.Ship) {
 	if _, dup := c.members[s.ID]; dup {
 		return
 	}
-	c.members[s.ID] = &Member{Ship: s, Reputation: c.cfg.InitialReputation, ClusterID: -1}
+	m := &Member{Ship: s, Reputation: c.cfg.InitialReputation, ClusterID: -1}
+	c.members[s.ID] = m
 	c.order = append(c.order, s.ID)
+	c.idx = append(c.idx, m)
 }
 
 // Member returns a ship's standing.
@@ -102,57 +141,113 @@ func (c *Community) Member(id ployon.ID) (*Member, bool) {
 // Size returns the number of enrolled ships (including excluded/dead).
 func (c *Community) Size() int { return len(c.members) }
 
-// active lists non-excluded, alive members in enrollment order.
-func (c *Community) active() []*Member {
-	var out []*Member
-	for _, id := range c.order {
-		m := c.members[id]
-		if !m.Excluded && m.Ship.State() == ship.Alive {
-			out = append(out, m)
+// refreshActive compacts terminal members out of the incremental index
+// and rebuilds the dense scratch view of alive members, both in
+// enrollment order. The returned slice is owned by the community and
+// valid until the next refresh.
+//
+//viator:noalloc
+func (c *Community) refreshActive() []*Member {
+	act := c.actScratch[:0]
+	idx := c.idx[:0] // in-place filter: write index trails read index
+	for _, m := range c.idx {
+		if m.Excluded {
+			continue
+		}
+		st := m.Ship.State()
+		if st == ship.Dead {
+			continue
+		}
+		idx = append(idx, m)
+		if st == ship.Alive {
+			act = append(act, m) //viator:alloc-ok amortized scratch growth; steady state reuses capacity
 		}
 	}
-	return out
+	c.idx = idx
+	c.actScratch = act
+	return act
+}
+
+// exclude marks a member terminal and records its id in the sorted
+// exclusion log. The member stays visible to any dense view snapshotted
+// before the exclusion (mid-round exclusions remain probe-able for the
+// rest of that round) and is compacted out of the index on next refresh.
+//
+//viator:noalloc
+func (c *Community) exclude(m *Member) {
+	if m.Excluded {
+		return // later probes of an already-excluded peer re-fire the branch
+	}
+	m.Excluded = true
+	m.ClusterID = -1
+	id := m.Ship.ID
+	c.excluded = append(c.excluded, id) //viator:alloc-ok exclusions are rare and monotone; growth is amortized over the run
+	// Sorted insert: exclusion order within a round must not show in the
+	// reported list (see TestExcludedIDsOrderIndependent).
+	s := c.excluded
+	for j := len(s) - 1; j > 0 && s[j] < s[j-1]; j-- {
+		s[j], s[j-1] = s[j-1], s[j]
+	}
 }
 
 // ActiveIDs returns non-excluded alive ship ids in enrollment order.
 func (c *Community) ActiveIDs() []ployon.ID {
-	var out []ployon.ID
-	for _, m := range c.active() {
+	act := c.refreshActive()
+	out := make([]ployon.ID, 0, len(act))
+	for _, m := range act {
 		out = append(out, m.Ship.ID)
 	}
 	return out
 }
 
-// ExcludedIDs returns the ids excluded so far, sorted.
+// ExcludedIDs returns the ids excluded so far, sorted. The result is a
+// fresh copy; the community's own log is append-only.
 func (c *Community) ExcludedIDs() []ployon.ID {
-	var out []ployon.ID
-	for id, m := range c.members {
-		if m.Excluded {
-			out = append(out, id)
-		}
+	if len(c.excluded) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]ployon.ID, len(c.excluded))
+	copy(out, c.excluded)
 	return out
 }
 
+// ExcludedCount returns how many ships have been excluded so far — the
+// allocation-free form of len(ExcludedIDs()).
+func (c *Community) ExcludedCount() int { return len(c.excluded) }
+
 // GossipRound has every active member verify ProbesPerRound random peers:
-// it asks for the peer's self-description and checks the displayed modal
-// role against the peer's observable behaviour. Misreports cost
-// reputation; sustained lying leads to exclusion.
+// it asks for the peer's displayed modal role and checks it against the
+// peer's observable behaviour. Misreports cost reputation; sustained
+// lying leads to exclusion.
+//
+// Draw semantics are part of the determinism contract: each prober takes
+// exactly ProbesPerRound draws from the community RNG against the dense
+// active view snapshotted at round start. A draw that lands on the
+// prober itself is discarded but still consumes both the draw and the
+// probe budget — a self-draw is a skipped probe, not a redrawn one.
+// "Fixing" this to redraw would shift the RNG stream and with it every
+// downstream seed-derived result; TestGossipSelfProbeConsumesBudget pins
+// the current semantics. Members excluded mid-round stay in the snapshot
+// and remain probe-able until the round ends, exactly as before the
+// index refactor.
+//
+//viator:noalloc
 func (c *Community) GossipRound() {
-	act := c.active()
+	act := c.refreshActive()
 	if len(act) < 2 {
 		return
 	}
 	for _, prober := range act {
 		for p := 0; p < c.cfg.ProbesPerRound; p++ {
-			peer := act[c.rng.Intn(len(act))]
+			peer := act[c.rng.Intn(len(act))] //viator:alloc-ok panic path inside inlined Intn: empty act is guarded above, never taken in a valid run
 			if peer == prober {
 				continue
 			}
 			c.Probes++
-			desc := peer.Ship.Describe()
-			truthful := len(desc.Roles) > 0 && desc.Roles[0] == peer.Ship.ModalRole().String()
+			// The displayed modal role is Roles[0] of the ship's
+			// self-description; comparing kinds directly avoids building
+			// the genome that Describe() would allocate.
+			truthful := peer.Ship.DisplayedModalRole() == peer.Ship.ModalRole()
 			if truthful {
 				peer.Reputation += c.cfg.TruthReward
 				if peer.Reputation > 1 {
@@ -162,20 +257,77 @@ func (c *Community) GossipRound() {
 				c.Lies++
 				peer.Reputation -= c.cfg.LiePenalty
 				if peer.Reputation < c.cfg.ExcludeBelow {
-					peer.Excluded = true
-					peer.ClusterID = -1
+					c.exclude(peer)
 				}
 			}
 		}
 	}
 }
 
+// refreshActiveFingerprint is refreshActive fused with the membership
+// fingerprint: one walk compacts the index, builds the dense alive view
+// and hashes each alive member's id and shape as it passes — each Ship
+// is pointer-chased exactly once, which matters at fleet scale where
+// this walk is the entire steady-state cost of FormClusters. The hash is
+// a word-wise FNV-1a chain per member folded into an outer FNV-1a chain
+// over the member order, so the serial-dependency chain is one multiply
+// per member and consecutive members' local chains overlap in flight.
+// Two fleets with equal fingerprint greedy-cluster identically; the gate
+// trades a 2^-64 collision risk for skipping the O(members × clusters)
+// congruence pass.
+//
+//viator:noalloc
+func (c *Community) refreshActiveFingerprint() ([]*Member, uint64) {
+	const (
+		prime64  = 1099511628211
+		offset64 = 14695981039346656037
+	)
+	act := c.actScratch[:0]
+	idx := c.idx[:0] // in-place filter: write index trails read index
+	h := uint64(offset64)
+	for _, m := range c.idx {
+		if m.Excluded {
+			continue
+		}
+		sp := m.Ship
+		st := sp.State()
+		if st == ship.Dead {
+			continue
+		}
+		idx = append(idx, m)
+		if st == ship.Alive {
+			act = append(act, m) //viator:alloc-ok amortized scratch growth; steady state reuses capacity
+			local := (offset64 ^ uint64(sp.ID)) * prime64
+			for _, f := range sp.Shape {
+				local = (local ^ math.Float64bits(f)) * prime64
+			}
+			h = (h ^ local) * prime64
+		}
+	}
+	c.idx = idx
+	c.actScratch = act
+	h = (h ^ uint64(len(act))) * prime64
+	return act, h
+}
+
 // FormClusters greedily groups active members by shape congruence: each
 // ship joins the first cluster whose seed it is congruent with, otherwise
 // it seeds a new cluster. It returns the number of clusters formed.
+//
+// The pass is gated on a fingerprint of the active membership and
+// shapes: when nothing changed since the previous build, the per-member
+// ClusterIDs are already correct and the cached cluster count is
+// returned without re-running the greedy pass (ClusterBuilds counts the
+// passes that actually ran).
+//
+//viator:noalloc
 func (c *Community) FormClusters() int {
-	act := c.active()
-	var seeds []*Member
+	act, fp := c.refreshActiveFingerprint()
+	if c.haveFingerprint && fp == c.lastFingerprint {
+		return c.lastClusters
+	}
+	c.ClusterBuilds++
+	seeds := c.seedScratch[:0]
 	for _, m := range act {
 		m.ClusterID = -1
 		placed := false
@@ -188,25 +340,78 @@ func (c *Community) FormClusters() int {
 		}
 		if !placed {
 			m.ClusterID = len(seeds)
-			seeds = append(seeds, m)
+			seeds = append(seeds, m) //viator:alloc-ok amortized scratch growth; steady state reuses capacity
 		}
 	}
+	c.seedScratch = seeds
+	c.haveFingerprint = true
+	c.lastFingerprint = fp
+	c.lastClusters = len(seeds)
 	return len(seeds)
 }
 
-// Clusters returns cluster id → member ship ids (sorted), active only.
-func (c *Community) Clusters() map[int][]ployon.ID {
-	out := make(map[int][]ployon.ID)
-	for _, m := range c.active() {
-		if m.ClusterID >= 0 {
-			out[m.ClusterID] = append(out[m.ClusterID], m.Ship.ID)
+// ClustersInto appends the current clustering to buf[:0] and returns it:
+// index ci holds cluster ci's active member ids, sorted. Buckets are
+// built by walking the dense active view in enrollment order and sorted
+// in place, so the result is deterministic by construction (no map
+// iteration anywhere). Empty buckets (every seed member died since the
+// last FormClusters) stay present as empty slices so indices keep
+// matching cluster ids.
+//
+//viator:noalloc
+func (c *Community) ClustersInto(buf [][]ployon.ID) [][]ployon.ID {
+	act := c.refreshActive()
+	n := 0
+	for _, m := range act {
+		if m.ClusterID >= n {
+			n = m.ClusterID + 1
 		}
 	}
-	//viator:maporder-safe each iteration sorts its own member slice in place; iterations touch disjoint values and the map itself is unchanged
-	for _, ids := range out {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := buf[:0]
+	for i := 0; i < n; i++ {
+		if i < cap(out) {
+			out = out[:i+1]
+			out[i] = out[i][:0]
+		} else {
+			out = append(out, nil) //viator:alloc-ok amortized scratch growth; steady state reuses capacity
+		}
+	}
+	for _, m := range act {
+		if m.ClusterID >= 0 {
+			out[m.ClusterID] = append(out[m.ClusterID], m.Ship.ID) //viator:alloc-ok amortized bucket growth; steady state reuses capacity
+		}
+	}
+	for i := range out {
+		sortIDs(out[i])
 	}
 	return out
+}
+
+// Clusters returns cluster id → member ship ids (sorted), active only —
+// the allocating map view of ClustersInto for callers that want an
+// owned snapshot.
+func (c *Community) Clusters() map[int][]ployon.ID {
+	out := make(map[int][]ployon.ID)
+	for ci, ids := range c.ClustersInto(nil) {
+		if len(ids) == 0 {
+			continue
+		}
+		cp := make([]ployon.ID, len(ids))
+		copy(cp, ids)
+		out[ci] = cp
+	}
+	return out
+}
+
+// sortIDs sorts in place by insertion sort: cluster buckets are small
+// and, unlike sort.Slice, the loop never boxes the slice header, keeping
+// ClustersInto allocation-free.
+func sortIDs(s []ployon.ID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // Repair resurrects a dead member by node genesis: a live fair member of
@@ -222,9 +427,9 @@ func (c *Community) Repair(deadID ployon.ID, newID ployon.ID, now float64) (*shi
 	if dead.Ship.State() != ship.Dead {
 		return nil, fmt.Errorf("cluster: ship %d is not dead", deadID)
 	}
-	// Find a live, fair, same-class donor.
+	// Find a live, fair, same-class donor in enrollment order.
 	var donor *Member
-	for _, m := range c.active() {
+	for _, m := range c.refreshActive() {
 		if m.Ship.Fair() && m.Ship.Class == dead.Ship.Class {
 			donor = m
 			break
@@ -254,25 +459,47 @@ func (c *Community) Repair(deadID ployon.ID, newID ployon.ID, now float64) (*shi
 	return reborn, nil
 }
 
-// KnowledgeCoupling measures the structural coupling of two members as
-// the Jaccard similarity of their alive fact sets — the paper's
-// "structure-determined engagement of a given entity with another".
-func KnowledgeCoupling(a, b *ship.Ship, now float64) float64 {
-	fa := a.KB.Facts(now)
-	fb := b.KB.Facts(now)
+// CouplingScratch holds the reusable fact buffers for
+// KnowledgeCouplingInto; the zero value is ready to use.
+type CouplingScratch struct {
+	fa, fb []kq.FactID
+}
+
+// KnowledgeCouplingInto measures the structural coupling of two members
+// as the Jaccard similarity of their alive fact sets — the paper's
+// "structure-determined engagement of a given entity with another" —
+// through caller-owned scratch: both fact sets land in the scratch
+// buffers (sorted, via kq.FactsInto) and the intersection is counted by
+// a linear merge instead of a hash set.
+//
+//viator:noalloc
+func KnowledgeCouplingInto(sc *CouplingScratch, a, b *ship.Ship, now float64) float64 {
+	sc.fa = a.KB.FactsInto(sc.fa, now)
+	sc.fb = b.KB.FactsInto(sc.fb, now)
+	fa, fb := sc.fa, sc.fb
 	if len(fa) == 0 && len(fb) == 0 {
 		return 0
 	}
-	set := make(map[kq.FactID]bool, len(fa))
-	for _, f := range fa {
-		set[f] = true
-	}
 	inter := 0
-	for _, f := range fb {
-		if set[f] {
+	for i, j := 0, 0; i < len(fa) && j < len(fb); {
+		switch {
+		case fa[i] == fb[j]:
 			inter++
+			i++
+			j++
+		case fa[i] < fb[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	union := len(fa) + len(fb) - inter
 	return float64(inter) / float64(union)
+}
+
+// KnowledgeCoupling is the scratch-free convenience form of
+// KnowledgeCouplingInto.
+func KnowledgeCoupling(a, b *ship.Ship, now float64) float64 {
+	var sc CouplingScratch
+	return KnowledgeCouplingInto(&sc, a, b, now)
 }

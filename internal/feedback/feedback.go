@@ -65,11 +65,32 @@ type subscription struct {
 	handler Handler
 }
 
+// Key is a stable integer handle to one (dimension, key) routing target,
+// resolved once via Bus.Key and then usable with PublishKey on the
+// per-signal path — the stats.Key pattern applied to signal routing.
+type Key int32
+
+// dimState is one dimension's routing table. Routes are rebuilt eagerly
+// on the cold paths (Subscribe, Key interning) so the publish paths only
+// walk precomputed subscription-index lists.
+type dimState struct {
+	keyIdx   map[string]Key
+	keyNames []string
+	// routes[k] lists the indices into Bus.subs matching keyNames[k]
+	// (keyed and wildcard subscriptions merged), ascending — which is
+	// subscription order, the delivery-order contract.
+	routes [][]int32
+	// wildcard lists the subscriptions with key "", ascending; it is the
+	// delivery list for signals whose key was never interned.
+	wildcard []int32
+}
+
 // Bus routes signals from sensors to subscribed controllers. Subscribers
 // are invoked synchronously in subscription order (deterministic). Bus is
 // not safe for concurrent use; simulations are single-threaded.
 type Bus struct {
 	subs    []subscription
+	dims    [NumDimensions]dimState
 	enabled [NumDimensions]bool
 	// Published counts accepted signals per dimension; Suppressed counts
 	// signals dropped because their dimension was disabled.
@@ -104,13 +125,77 @@ func (b *Bus) EnableOnly(dims ...Dimension) {
 }
 
 // Subscribe registers a handler for a (dimension, key) pair; an empty key
-// receives every signal in the dimension.
+// receives every signal in the dimension. Routing tables are extended
+// here, on the cold path, so publishing stays allocation-free.
 func (b *Bus) Subscribe(d Dimension, key string, h Handler) {
+	if d >= NumDimensions {
+		panic("feedback: bad dimension")
+	}
+	si := int32(len(b.subs))
 	b.subs = append(b.subs, subscription{dim: d, key: key, handler: h})
+	st := &b.dims[d]
+	if key == "" {
+		// A wildcard matches every key: merge into every existing route.
+		// si is the highest index, so appending preserves the ascending
+		// (= subscription-order) invariant.
+		st.wildcard = append(st.wildcard, si)
+		for k := range st.routes {
+			st.routes[k] = append(st.routes[k], si)
+		}
+		return
+	}
+	k := b.Key(d, key)
+	st.routes[k] = append(st.routes[k], si)
+}
+
+// Key resolves a (dimension, key) pair to its integer routing handle,
+// building the merged delivery route on first use.
+func (b *Bus) Key(d Dimension, name string) Key {
+	if d >= NumDimensions {
+		panic("feedback: bad dimension")
+	}
+	st := &b.dims[d]
+	if k, ok := st.keyIdx[name]; ok {
+		return k
+	}
+	if st.keyIdx == nil {
+		st.keyIdx = make(map[string]Key)
+	}
+	k := Key(len(st.keyNames))
+	st.keyIdx[name] = k
+	st.keyNames = append(st.keyNames, name)
+	// A fresh key is matched by exactly the wildcard subscriptions so far.
+	route := make([]int32, len(st.wildcard))
+	copy(route, st.wildcard)
+	st.routes = append(st.routes, route)
+	return k
+}
+
+// PublishKey delivers a signal through a pre-resolved routing handle —
+// the allocation-free per-signal fast path. Handlers still receive the
+// full Signal, with the key string recovered from the intern table.
+//
+//viator:noalloc
+func (b *Bus) PublishKey(d Dimension, k Key, value, now float64) {
+	if d >= NumDimensions {
+		panic("feedback: bad dimension") //viator:alloc-ok panic path: out-of-range dimension is a model bug, never taken in a valid run
+	}
+	if !b.enabled[d] {
+		b.Suppressed++
+		return
+	}
+	b.Published[d]++
+	st := &b.dims[d]
+	s := Signal{Dim: d, Key: st.keyNames[k], Value: value, Time: now}
+	for _, si := range st.routes[k] {
+		b.subs[si].handler(s)
+	}
 }
 
 // Publish delivers the signal to matching subscribers, unless the
-// dimension is disabled.
+// dimension is disabled — the string-keyed view of PublishKey. Known
+// keys route through the precomputed tables; a never-interned key can
+// only match wildcard subscriptions, which have their own list.
 func (b *Bus) Publish(s Signal) {
 	if s.Dim >= NumDimensions {
 		panic("feedback: bad dimension")
@@ -120,10 +205,15 @@ func (b *Bus) Publish(s Signal) {
 		return
 	}
 	b.Published[s.Dim]++
-	for _, sub := range b.subs {
-		if sub.dim == s.Dim && (sub.key == "" || sub.key == s.Key) {
-			sub.handler(s)
+	st := &b.dims[s.Dim]
+	if k, ok := st.keyIdx[s.Key]; ok {
+		for _, si := range st.routes[k] {
+			b.subs[si].handler(s)
 		}
+		return
+	}
+	for _, si := range st.wildcard {
+		b.subs[si].handler(s)
 	}
 }
 

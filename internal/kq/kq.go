@@ -112,30 +112,61 @@ func (s *Store) Alive(id FactID, now float64) bool {
 // Sweep deletes every fact below threshold and returns the evicted IDs in
 // sorted order. Ships run this periodically (the "pulse").
 func (s *Store) Sweep(now float64) []FactID {
-	var out []FactID
+	return s.SweepInto(nil, now)
+}
+
+// SweepInto is the caller-owned-scratch form of Sweep: evicted IDs land
+// in buf[:0], sorted. The pulse loop sweeps every alive ship every pulse
+// and discards the result, so reusing one buffer there removes a
+// per-ship-per-pulse allocation.
+//
+//viator:noalloc
+func (s *Store) SweepInto(buf []FactID, now float64) []FactID {
+	out := buf[:0]
 	//viator:maporder-safe per-key threshold filter (decayed is a pure read); evictions commute and out is sorted before return
 	for id, f := range s.facts {
 		if s.decayed(f, now) < s.Threshold {
-			out = append(out, id)
+			out = append(out, id) //viator:alloc-ok amortized scratch growth; steady state reuses buf's capacity
 			delete(s.facts, id)
 			s.Evicted++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortFactIDs(out)
 	return out
 }
 
 // Facts returns the IDs of all alive facts at now, sorted.
 func (s *Store) Facts(now float64) []FactID {
-	var out []FactID
+	return s.FactsInto(nil, now)
+}
+
+// FactsInto appends the IDs of all alive facts at now to buf[:0] and
+// returns the sorted result — the caller-owned-scratch form of Facts.
+// With sufficient capacity in buf it performs no allocations, which is
+// what lets the pulse loop's resonance observation run allocation-free.
+//
+//viator:noalloc
+func (s *Store) FactsInto(buf []FactID, now float64) []FactID {
+	out := buf[:0]
 	//viator:maporder-safe pure filter (decayed is a read-only method) collecting into out, which is sorted before return
 	for id, f := range s.facts {
 		if s.decayed(f, now) >= s.Threshold {
-			out = append(out, id)
+			out = append(out, id) //viator:alloc-ok amortized scratch growth; steady state reuses buf's capacity
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortFactIDs(out)
 	return out
+}
+
+// sortFactIDs sorts in place by insertion sort: fact sets are small (a
+// ship's working set), and unlike sort.Slice the loop never boxes the
+// slice header, keeping FactsInto allocation-free.
+func sortFactIDs(s []FactID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // Len returns the number of stored facts (alive or decaying).

@@ -6,11 +6,17 @@
 // ships under pressure spawn overlay roles inside themselves (Figure 4,
 // "in-pulsing"). Both pulses operate in parallel to realize the adaptive
 // virtual topology.
+//
+// # Scale discipline
+//
+// Pulses reuse engine-owned scratch (aux-role snapshots, role census
+// buffers) instead of building per-ship slices, and the outstanding
+// -network census has a CSR scratch form (OutstandingInto) that groups
+// ship indices by role with two counting passes and no map. The map- and
+// slice-returning package functions remain as allocating views.
 package metamorph
 
 import (
-	"sort"
-
 	"viator/internal/roles"
 	"viator/internal/ship"
 	"viator/internal/stats"
@@ -48,6 +54,9 @@ type Engine struct {
 	// Horizontal / Vertical count completed transitions.
 	Horizontal int
 	Vertical   int
+
+	auxScratch   []roles.Kind
+	countScratch []int
 }
 
 // New creates an engine over the given ships.
@@ -55,7 +64,7 @@ func New(cfg Config, ships []*ship.Ship) *Engine {
 	if len(cfg.CandidateRoles) == 0 {
 		panic("metamorph: no candidate roles")
 	}
-	return &Engine{cfg: cfg, Ships: ships}
+	return &Engine{cfg: cfg, Ships: ships, countScratch: make([]int, roles.NumKinds)}
 }
 
 // HorizontalPulse performs one inter-node wandering step: every alive
@@ -63,6 +72,12 @@ func New(cfg Config, ships []*ship.Ship) *Engine {
 // modal function when another role's demand beats the current one by the
 // hysteresis factor. It returns the number of role migrations and the
 // total reconfiguration latency incurred.
+//
+// The hysteresis comparison is strict: a challenger whose demand equals
+// curDemand×Hysteresis exactly is enough to move (pinned by
+// TestHysteresisBoundaryExact).
+//
+//viator:noalloc
 func (e *Engine) HorizontalPulse(demand DemandFn) (migrations int, latency float64) {
 	for i, s := range e.Ships {
 		if s.State() != ship.Alive {
@@ -102,6 +117,8 @@ type PressureFn func(i int) float64
 // pressure exceeds high spawn an overlay (install the auxiliary role
 // their Next-Step switch stores, defaulting to Combining), and ships
 // below low tear their overlays down. It returns (spawned, torndown).
+//
+//viator:noalloc
 func (e *Engine) VerticalPulse(pressure PressureFn, high, low float64) (spawned, torndown int) {
 	for i, s := range e.Ships {
 		if s.State() != ship.Alive {
@@ -113,13 +130,17 @@ func (e *Engine) VerticalPulse(pressure PressureFn, high, low float64) (spawned,
 			if !ok {
 				k = roles.Combining
 			}
-			if len(s.AuxRoles()) == 0 {
+			e.auxScratch = s.AuxRolesInto(e.auxScratch)
+			if len(e.auxScratch) == 0 {
 				if err := s.InstallAux(k); err == nil {
 					spawned++
 				}
 			}
 		} else if p < low {
-			for _, k := range s.AuxRoles() {
+			// The scratch snapshot stays stable while RemoveAux mutates
+			// the ship's own aux-role list underneath it.
+			e.auxScratch = s.AuxRolesInto(e.auxScratch)
+			for _, k := range e.auxScratch {
 				if err := s.RemoveAux(k); err == nil {
 					torndown++
 				}
@@ -130,27 +151,108 @@ func (e *Engine) VerticalPulse(pressure PressureFn, high, low float64) (spawned,
 	return spawned, torndown
 }
 
+// Outstanding is the caller-owned scratch form of the outstanding
+// -network census: alive ship indices grouped by modal role in CSR
+// layout. The zero value is ready for OutstandingInto.
+type Outstanding struct {
+	// Start[k]..Start[k+1] bounds role k's span in Ships.
+	Start [roles.NumKinds + 1]int32
+	// Ships holds alive ship indices grouped by role, ascending within
+	// each group.
+	Ships []int32
+	// Distinct counts roles with at least one alive ship — the number of
+	// virtual outstanding networks.
+	Distinct int
+}
+
+// Span returns role k's alive ship indices (shared with o.Ships).
+func (o *Outstanding) Span(k roles.Kind) []int32 {
+	return o.Ships[o.Start[k]:o.Start[k+1]]
+}
+
+// outstandingInto fills o from ships with two counting passes.
+//
+//viator:noalloc
+func outstandingInto(o *Outstanding, ships []*ship.Ship) {
+	var counts [roles.NumKinds]int32
+	alive := 0
+	for _, s := range ships {
+		if s.State() == ship.Alive {
+			counts[s.ModalRole()]++
+			alive++
+		}
+	}
+	o.Distinct = 0
+	pos := int32(0)
+	for k := 0; k < int(roles.NumKinds); k++ {
+		o.Start[k] = pos
+		pos += counts[k]
+		if counts[k] > 0 {
+			o.Distinct++
+		}
+		counts[k] = o.Start[k] // reuse as fill cursor
+	}
+	o.Start[roles.NumKinds] = pos
+	buf := o.Ships[:0]
+	for i := 0; i < alive; i++ {
+		buf = append(buf, 0) //viator:alloc-ok amortized scratch growth; steady state reuses capacity
+	}
+	for i, s := range ships {
+		if s.State() == ship.Alive {
+			k := s.ModalRole()
+			buf[counts[k]] = int32(i)
+			counts[k]++
+		}
+	}
+	o.Ships = buf
+}
+
+// OutstandingInto runs the census over the engine's fleet into o.
+func (e *Engine) OutstandingInto(o *Outstanding) { outstandingInto(o, e.Ships) }
+
 // OutstandingNetworks groups alive ships by modal role: each group is one
 // "virtual outstanding network" of the same physical infrastructure
-// (Figure 3). Keys with no ships are absent.
+// (Figure 3). Keys with no ships are absent. This is the allocating map
+// view of OutstandingInto.
 func OutstandingNetworks(ships []*ship.Ship) map[roles.Kind][]int {
+	var o Outstanding
+	outstandingInto(&o, ships)
 	out := make(map[roles.Kind][]int)
-	for i, s := range ships {
-		if s.State() != ship.Alive {
+	for k := roles.Kind(0); k < roles.NumKinds; k++ {
+		span := o.Span(k)
+		if len(span) == 0 {
 			continue
 		}
-		out[s.ModalRole()] = append(out[s.ModalRole()], i)
-	}
-	//viator:maporder-safe each iteration sorts its own index slice in place; iterations touch disjoint values and the map itself is unchanged
-	for _, idx := range out {
-		sort.Ints(idx)
+		idx := make([]int, len(span))
+		for i, v := range span {
+			idx[i] = int(v)
+		}
+		out[k] = idx
 	}
 	return out
 }
 
 // RoleEntropy quantifies the functional differentiation of the fleet in
 // bits — the measurable form of Figure 1's "different shapes of the
-// nodes". Zero means every ship plays the same role.
+// nodes". Zero means every ship plays the same role. The engine method
+// reuses a census buffer; the package function is the allocating form.
+//
+//viator:noalloc
+func (e *Engine) RoleEntropy() float64 {
+	counts := e.countScratch
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, s := range e.Ships {
+		if s.State() == ship.Alive {
+			counts[s.ModalRole()]++
+		}
+	}
+	return stats.Entropy(counts)
+}
+
+// RoleEntropy is the allocating form of Engine.RoleEntropy over an
+// arbitrary fleet.
 func RoleEntropy(ships []*ship.Ship) float64 {
 	counts := make([]int, roles.NumKinds)
 	for _, s := range ships {

@@ -1,0 +1,212 @@
+package resonance
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"viator/internal/allocpin"
+	"viator/internal/kq"
+	"viator/internal/sim"
+)
+
+// This file retains the pre-overhaul resonance engine verbatim as the
+// oracle for the interned, frontier-driven rewrite: over arbitrary
+// observation streams the rewrite must report the same correlations and
+// emerge the same net functions in the same batches. The reference
+// re-scans its full map-keyed pair table on every Emerge; the rewrite
+// must be observably indistinguishable from that.
+
+type refPair struct{ a, b kq.FactID }
+
+func refMkPair(a, b kq.FactID) refPair {
+	if b < a {
+		a, b = b, a
+	}
+	return refPair{a, b}
+}
+
+type refEngine struct {
+	cfg Config
+
+	observations int
+	factCount    map[kq.FactID]int
+	pairCount    map[refPair]int
+	emerged      map[string]kq.NetFunction
+}
+
+func newRef(cfg Config) *refEngine {
+	return &refEngine{
+		cfg:       cfg,
+		factCount: make(map[kq.FactID]int),
+		pairCount: make(map[refPair]int),
+		emerged:   make(map[string]kq.NetFunction),
+	}
+}
+
+func (e *refEngine) observeFacts(facts []kq.FactID) {
+	e.observations++
+	for _, f := range facts {
+		e.factCount[f]++
+	}
+	for i := 0; i < len(facts); i++ {
+		for j := i + 1; j < len(facts); j++ {
+			e.pairCount[refMkPair(facts[i], facts[j])]++
+		}
+	}
+}
+
+func (e *refEngine) correlation(a, b kq.FactID) float64 {
+	ca, cb := e.factCount[a], e.factCount[b]
+	if ca == 0 || cb == 0 {
+		return 0
+	}
+	minC := ca
+	if cb < minC {
+		minC = cb
+	}
+	return float64(e.pairCount[refMkPair(a, b)]) / float64(minC)
+}
+
+func refResonantName(p refPair) string {
+	return fmt.Sprintf("resonant:%s+%s", p.a, p.b)
+}
+
+func (e *refEngine) emerge() []kq.NetFunction {
+	var out []kq.NetFunction
+	for p, cnt := range e.pairCount {
+		if cnt < e.cfg.MinSupport {
+			continue
+		}
+		name := refResonantName(p)
+		if _, done := e.emerged[name]; done {
+			continue
+		}
+		if e.correlation(p.a, p.b) < e.cfg.MinCorrelation {
+			continue
+		}
+		nf := kq.NetFunction{Name: name, Requires: []kq.FactID{p.a, p.b}}
+		e.emerged[name] = nf
+		out = append(out, nf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (e *refEngine) emergedAll() []kq.NetFunction {
+	out := make([]kq.NetFunction, 0, len(e.emerged))
+	for _, nf := range e.emerged {
+		out = append(out, nf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TestEngineMatchesReference feeds the rewrite and the verbatim old
+// engine the same random fact-set streams — varying support and
+// correlation thresholds — and demands identical Emerge batches,
+// Emerged sets and Correlation scores throughout.
+func TestEngineMatchesReference(t *testing.T) {
+	configs := []Config{
+		DefaultConfig(),
+		{MinSupport: 1, MinCorrelation: 0.5},
+		{MinSupport: 0, MinCorrelation: 0.9}, // non-positive support: every pair admitted
+		{MinSupport: 8, MinCorrelation: 0.99},
+	}
+	universe := make([]kq.FactID, 12)
+	for i := range universe {
+		universe[i] = kq.FactID(fmt.Sprintf("fact:%02d", i))
+	}
+	for ci, cfg := range configs {
+		for seed := uint64(1); seed <= 4; seed++ {
+			rng := sim.NewRNG(seed*1000 + uint64(ci))
+			e := New(cfg)
+			r := newRef(cfg)
+			var snap []kq.FactID
+			for step := 0; step < 300; step++ {
+				snap = snap[:0]
+				// Draw a random subset; duplicates are possible and must
+				// be handled identically by both engines.
+				for n := rng.Intn(6); n >= 0; n-- {
+					snap = append(snap, universe[rng.Intn(len(universe))])
+				}
+				e.ObserveFacts(snap)
+				r.observeFacts(snap)
+				if step%17 == 0 {
+					got, want := e.Emerge(), r.emerge()
+					if len(got) == 0 && len(want) == 0 {
+						// reflect.DeepEqual(nil, []T{}) is false; both
+						// shapes mean "no new emergence".
+					} else if !reflect.DeepEqual(got, want) {
+						t.Fatalf("cfg %d seed %d step %d: Emerge %v != %v", ci, seed, step, got, want)
+					}
+				}
+				if step%41 == 0 {
+					a, b := universe[rng.Intn(len(universe))], universe[rng.Intn(len(universe))]
+					if got, want := e.Correlation(a, b), r.correlation(a, b); got != want {
+						t.Fatalf("cfg %d seed %d step %d: Correlation(%s,%s) %v != %v", ci, seed, step, a, b, got, want)
+					}
+				}
+			}
+			if got, want := e.Emerged(), r.emergedAll(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("cfg %d seed %d: Emerged %v != %v", ci, seed, got, want)
+			}
+			if e.Observations() != r.observations {
+				t.Fatalf("cfg %d seed %d: observations %d != %d", ci, seed, e.Observations(), r.observations)
+			}
+		}
+	}
+}
+
+// TestFrontierKeepsLateCorrelators pins the frontier compaction rule: a
+// pair that crosses MinSupport while its correlation is still below the
+// bar must stay in the frontier and emerge later, once enough joint
+// observations lift the correlation.
+func TestFrontierKeepsLateCorrelators(t *testing.T) {
+	e := New(Config{MinSupport: 3, MinCorrelation: 0.8})
+	a, b := kq.FactID("alpha"), kq.FactID("beta")
+	// Drive both solo counts up so the pair correlation starts low
+	// (correlation divides the pair count by the rarer fact's count).
+	for i := 0; i < 9; i++ {
+		e.ObserveFacts([]kq.FactID{a})
+		e.ObserveFacts([]kq.FactID{b})
+	}
+	for i := 0; i < 3; i++ {
+		e.ObserveFacts([]kq.FactID{a, b})
+	}
+	// count(a)=count(b)=12, pair=3 → correlation 0.25: support crossed,
+	// bar missed. The pair must survive this Emerge.
+	if out := e.Emerge(); len(out) != 0 {
+		t.Fatalf("pair emerged below the correlation bar: %v", out)
+	}
+	// 33 more joint observations: pair=36, counts=45 → 0.8 exactly.
+	for i := 0; i < 33; i++ {
+		e.ObserveFacts([]kq.FactID{a, b})
+	}
+	out := e.Emerge()
+	if len(out) != 1 || out[0].Name != "resonant:alpha+beta" {
+		t.Fatalf("late correlator did not emerge: %v", out)
+	}
+	// Once emerged it must leave the frontier: no duplicate emergence.
+	e.ObserveFacts([]kq.FactID{a, b})
+	if out := e.Emerge(); len(out) != 0 {
+		t.Fatalf("pair emerged twice: %v", out)
+	}
+}
+
+// TestObserveFactsAllocFree pins the steady-state observation hot path:
+// once every fact is interned and every pair counted, folding in another
+// snapshot takes zero allocations.
+func TestObserveFactsAllocFree(t *testing.T) {
+	e := New(DefaultConfig())
+	facts := []kq.FactID{"f:0", "f:1", "f:2", "f:3", "f:4", "f:5"}
+	// Warm up far past the support threshold so the frontier appends are
+	// behind us too.
+	for i := 0; i < 20; i++ {
+		e.ObserveFacts(facts)
+	}
+	allocpin.Zero(t, 100, func() {
+		e.ObserveFacts(facts)
+	}, "(*Engine).ObserveFacts")
+}

@@ -287,13 +287,13 @@ func (s *Ship) allocID() ployon.ID {
 // description — the defection the SRP exclusion mechanism punishes.
 func (s *Ship) Describe() *kq.Genome {
 	g := &kq.Genome{ShipClass: uint8(s.Class)}
-	g.Roles = append(g.Roles, s.modal.String())
+	// DisplayedModalRole is the defection point: a fair ship displays its
+	// real modal role, an unfair one misreports (and the cluster layer's
+	// gossip probes read DisplayedModalRole directly, without paying for
+	// this genome).
+	g.Roles = append(g.Roles, s.DisplayedModalRole().String())
 	for _, k := range s.auxOrder {
 		g.Roles = append(g.Roles, k.String())
-	}
-	if !s.cfg.Fair {
-		// Defection: claim a different modal role than reality.
-		g.Roles[0] = roles.Kind((s.modal + 1) % roles.NumKinds).String()
 	}
 	return g
 }

@@ -205,6 +205,20 @@ func (s *Ship) Fair() bool { return s.cfg.Fair }
 // ModalRole returns the single currently resident function.
 func (s *Ship) ModalRole() roles.Kind { return s.modal }
 
+// DisplayedModalRole returns the modal role this ship displays to the
+// community — always the first Roles entry of Describe(), but without
+// building a genome, so gossip verification probes stay allocation-free.
+// A fair ship displays its real modal role; an unfair ship misreports by
+// one kind (the defection the SRP exclusion mechanism punishes).
+//
+//viator:noalloc
+func (s *Ship) DisplayedModalRole() roles.Kind {
+	if !s.cfg.Fair {
+		return (s.modal + 1) % roles.NumKinds
+	}
+	return s.modal
+}
+
 // RoleSwitches returns how many modal role changes occurred — the "role
 // change" statistic of the wandering-function experiments.
 func (s *Ship) RoleSwitches() int { return s.roleSwitches }
@@ -296,6 +310,21 @@ func (s *Ship) RemoveAux(k roles.Kind) error {
 func (s *Ship) AuxRoles() []roles.Kind {
 	out := make([]roles.Kind, len(s.auxOrder))
 	copy(out, s.auxOrder)
+	return out
+}
+
+// AuxRolesInto appends the installed auxiliary roles to buf[:0] in
+// installation order — the caller-owned-scratch form of AuxRoles. The
+// returned snapshot stays valid across InstallAux/RemoveAux, which is
+// what lets the metamorph vertical pulse tear down overlays while
+// iterating without a per-ship copy.
+//
+//viator:noalloc
+func (s *Ship) AuxRolesInto(buf []roles.Kind) []roles.Kind {
+	out := buf[:0]
+	for _, k := range s.auxOrder {
+		out = append(out, k) //viator:alloc-ok amortized scratch growth; steady state reuses buf's capacity
+	}
 	return out
 }
 

@@ -94,6 +94,16 @@ type Network struct {
 	nextShuttleID ployon.ID
 	pulses        *sim.Ticker
 
+	// deadSlots lists fleet slots holding a dead ship (sorted ascending);
+	// deadListed dedupes it. KillShip maintains both so the self-healing
+	// pulse repairs from this list instead of scanning the full fleet.
+	deadSlots  []int
+	deadListed []bool
+
+	// sweepScratch is the reusable eviction buffer for the pulse loop's
+	// per-ship knowledge sweeps.
+	sweepScratch []kq.FactID
+
 	// Tel is the streaming telemetry stack, nil until EnableTelemetry.
 	Tel *Telemetry
 
@@ -144,8 +154,34 @@ func NewNetwork(cfg Config) *Network {
 		n.Community.Add(s)
 	}
 	n.Morph = metamorph.New(metamorph.DefaultConfig(), n.Ships)
+	n.deadListed = make([]bool, len(n.Ships))
 	n.Net.OnReceive(n.receive)
 	return n
+}
+
+// KillShip kills the ship in fleet slot i and records the slot on the
+// self-healing dead-list. All simulator-internal deaths (churn, fault
+// injection, experiments) go through here; a direct ship.Kill() still
+// takes effect but is invisible to the healer's dead-list until the slot
+// is re-reported.
+func (n *Network) KillShip(i int) {
+	n.Ships[i].Kill()
+	n.noteDead(i)
+}
+
+// noteDead records slot i on the sorted dead-list, once.
+func (n *Network) noteDead(i int) {
+	if n.deadListed[i] {
+		return
+	}
+	n.deadListed[i] = true
+	n.deadSlots = append(n.deadSlots, i)
+	// Sorted insert: the healer repairs in fleet-slot order, exactly like
+	// the full-fleet scan it replaces.
+	s := n.deadSlots
+	for j := len(s) - 1; j > 0 && s[j] < s[j-1]; j-- {
+		s[j], s[j-1] = s[j-1], s[j]
+	}
 }
 
 // Now returns the current virtual time.
@@ -342,7 +378,7 @@ func (n *Network) StartPulses(period float64) {
 			if s.State() != ship.Alive {
 				continue
 			}
-			s.KB.Sweep(now)
+			n.sweepScratch = s.KB.SweepInto(n.sweepScratch, now)
 			n.Resonance.Observe(s.KB, now)
 		}
 		n.Community.GossipRound()
@@ -379,10 +415,10 @@ func (n *Network) Snapshot() *Snapshot {
 		sn.Alive++
 		sn.RoleCounts[s.ModalRole()]++
 	}
-	sn.RoleEntropy = metamorph.RoleEntropy(n.Ships)
+	sn.RoleEntropy = n.Morph.RoleEntropy()
 	sn.Overlays = n.Router.Overlays()
 	sn.Clusters = n.Community.FormClusters()
-	sn.Excluded = len(n.Community.ExcludedIDs())
+	sn.Excluded = n.Community.ExcludedCount()
 	return sn
 }
 

@@ -111,7 +111,7 @@ func TestJetEpidemicCoverage(t *testing.T) {
 func TestSnapshotAndDOT(t *testing.T) {
 	n := NewNetwork(DefaultConfig(8, 11))
 	n.Ships[0].SetModalRole(roles.Fusion)
-	n.Ships[1].Kill()
+	n.KillShip(1)
 	sn := n.Snapshot()
 	if sn.Alive != 7 {
 		t.Fatalf("alive = %d", sn.Alive)
@@ -158,7 +158,7 @@ func TestRoleCoverageIgnoresDead(t *testing.T) {
 	for _, s := range n.Ships {
 		s.SetModalRole(roles.Caching)
 	}
-	n.Ships[0].Kill()
+	n.KillShip(0)
 	if cov := n.RoleCoverage(roles.Caching); cov != 1.0 {
 		t.Fatalf("coverage = %v", cov)
 	}

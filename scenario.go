@@ -267,7 +267,7 @@ func (sc *Scenario) Run(seed uint64) *ScenarioResult {
 			}
 			i := r.rng.Intn(sp.Ships)
 			if n.Ships[i].State() == ship.Alive {
-				n.Ships[i].Kill()
+				n.KillShip(i)
 			}
 		})
 	}
@@ -421,12 +421,12 @@ func (r *scenarioRun) applyFault(f scenario.Fault) {
 		pos := r.positions()
 		for i, s := range n.Ships {
 			if s.State() == ship.Alive && pos[i].Dist(center) <= f.R {
-				s.Kill()
+				n.KillShip(i)
 			}
 		}
 	case scenario.FaultKillNode:
 		if n.Ships[f.Node].State() == ship.Alive {
-			n.Ships[f.Node].Kill()
+			n.KillShip(f.Node)
 		}
 	case scenario.FaultLinkDown, scenario.FaultLinkUp:
 		up := f.Kind == scenario.FaultLinkUp
@@ -494,7 +494,7 @@ func (r *scenarioRun) evaluate() []scenario.Verdict {
 		})
 	}
 	if a.MinExcluded > 0 {
-		excluded := len(n.Community.ExcludedIDs())
+		excluded := n.Community.ExcludedCount()
 		out = append(out, scenario.Verdict{
 			Name: "min_excluded", Pass: excluded >= a.MinExcluded,
 			Detail: fmt.Sprintf("excluded %d (floor %d)", excluded, a.MinExcluded),

@@ -31,35 +31,57 @@ type Healer struct {
 
 // EnableSelfHealing arms the healing loop with the given pulse period
 // and returns the healer for inspection. Healing uses the community's
-// genome-repair path, so only generation-4 fleets can heal.
+// genome-repair path, so only generation-4 fleets can heal. Ships
+// already dead at enable time are seeded onto the dead-list; later
+// deaths reach it through Network.KillShip.
 func (n *Network) EnableSelfHealing(period float64) *Healer {
 	h := &Healer{net: n, MaxRepairsPerPulse: 2, nextID: ployon.ID(len(n.Ships)) * 1000}
+	for i, s := range n.Ships {
+		if s.State() == ship.Dead {
+			n.noteDead(i)
+		}
+	}
 	n.K.Every(period, func() { h.pulse() })
 	return h
 }
 
-// pulse performs one healing round.
+// pulse performs one healing round over the dead-list (sorted by fleet
+// slot, so repairs run in the same order as the full-fleet scan this
+// replaces). Slots that cannot be repaired yet (no donor) stay listed
+// and are retried — and re-counted as failures — every pulse, exactly
+// like the scan did; slots whose ship turns out alive (replaced outside
+// the healer) are dropped as stale.
 func (h *Healer) pulse() {
 	n := h.net
 	repaired := 0
-	for i, s := range n.Ships {
-		if s.State() != ship.Dead || repaired >= h.MaxRepairsPerPulse {
+	kept := n.deadSlots[:0] // in-place compaction of the dead-list
+	for _, i := range n.deadSlots {
+		s := n.Ships[i]
+		if s.State() != ship.Dead {
+			n.deadListed[i] = false
+			continue
+		}
+		if repaired >= h.MaxRepairsPerPulse {
+			kept = append(kept, i)
 			continue
 		}
 		h.nextID++
 		reborn, err := n.Community.Repair(s.ID, h.nextID, n.Now())
 		if err != nil {
 			h.Failures++
+			kept = append(kept, i)
 			continue
 		}
 		// The replacement takes over the dead ship's fleet slot (and
 		// therefore its topology position).
 		n.Ships[i] = reborn
 		n.Morph.Ships[i] = reborn
+		n.deadListed[i] = false
 		repaired++
 		h.Repairs++
 		n.Trace.Add(n.Now(), "heal", "ship %d reborn as %d (donor genome)", s.ID, reborn.ID)
 	}
+	n.deadSlots = kept
 }
 
 // AliveFraction reports the share of fleet slots currently alive.

@@ -26,7 +26,7 @@ func TestSelfHealingRestoresFleet(t *testing.T) {
 	n.Run(2)
 	// Kill a third of the fleet.
 	for _, i := range []int{1, 4, 7, 10} {
-		n.Ships[i].Kill()
+		n.KillShip(i)
 	}
 	if n.AliveFraction() > 0.7 {
 		t.Fatalf("kill did not land: %v", n.AliveFraction())
@@ -58,7 +58,7 @@ func TestSelfHealingBoundedPerPulse(t *testing.T) {
 	h := n.EnableSelfHealing(1.0)
 	h.MaxRepairsPerPulse = 1
 	for i := 0; i < 5; i++ {
-		n.Ships[i].Kill()
+		n.KillShip(i)
 	}
 	n.Run(1.5) // one pulse
 	if h.Repairs != 1 {
@@ -83,7 +83,7 @@ func TestSelfHealingNoDonorFails(t *testing.T) {
 	}
 	n := NewNetwork(cfg)
 	h := n.EnableSelfHealing(1.0)
-	n.Ships[0].Kill()
+	n.KillShip(0)
 	n.Run(3)
 	if h.Repairs != 0 || h.Failures == 0 {
 		t.Fatalf("repairs=%d failures=%d", h.Repairs, h.Failures)
@@ -112,7 +112,7 @@ func TestAutopoieticLifeIntegration(t *testing.T) {
 	n.K.Every(4.0, func() {
 		victim := rng.Intn(20)
 		if n.Ships[victim].State() == ship.Alive {
-			n.Ships[victim].Kill()
+			n.KillShip(victim)
 		}
 	})
 	n.Run(40)
