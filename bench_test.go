@@ -1,6 +1,7 @@
 package viator
 
 import (
+	"fmt"
 	"testing"
 
 	"viator/internal/benchprobe"
@@ -21,6 +22,9 @@ import (
 
 func BenchmarkExperiment(b *testing.B) {
 	for _, e := range DefaultRegistry().Experiments() {
+		if e.Heavy {
+			continue // continent-scale; benchmarked via the shard suite instead
+		}
 		b.Run(e.ID, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if err := e.Check(e.Run(42)); err != nil {
@@ -280,5 +284,38 @@ func BenchmarkJetEpidemic(b *testing.B) {
 		n := NewNetwork(cfg)
 		n.InjectJet(0, roles.Boosting, 3)
 		n.Run(10)
+	}
+}
+
+// BenchmarkShard* measure the space-partitioned executor. The substrate
+// pair exercises the ShardGroup's windowed protocol and raw mailbox
+// cycle; the end-to-end sweep runs the S3 smoke continent (10,000 ships
+// in 8 districts) at 1/2/4/8 shard kernels over the same model workload
+// (same districts, fleets, trunks and traffic processes at every K), so
+// the K=1 → K=8 wall-clock ratio is a parallel-speedup measurement that
+// tracks the core count (~1× on a single-core runner). Bodies are
+// shared with `viatorbench -bench shard` via internal/benchprobe.
+func BenchmarkShardGroupWindowed(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), benchprobe.ShardGroupWindowed(k, 64))
+	}
+}
+
+func BenchmarkShardMailbox(b *testing.B) { benchprobe.ShardMailbox(b) }
+
+func BenchmarkShardScenarioS3S(b *testing.B) {
+	sc := ScenarioS3Smoke()
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			SetShardOverride(k)
+			defer SetShardOverride(0)
+			benchprobe.ShardEndToEnd(b, func() error {
+				res := sc.Run(42)
+				if !res.Pass() {
+					return fmt.Errorf("S3S assertions failed at K=%d", k)
+				}
+				return nil
+			})
+		})
 	}
 }

@@ -13,18 +13,28 @@
 // suite. The process exits 1 if any replicate fails an assertion and 2
 // for unparseable or invalid specs, so scenario suites gate CI directly.
 //
-// -bench <kernel|routing|mobility|telemetry|principles|all> switches to the
-// micro-benchmark suites, emitting a JSON document (the BENCH_<suite>.json
-// artifacts tracked by CI) instead of tables: `kernel` times the kernel
-// schedule/fire path, the per-packet send path and a replicated E1 run;
-// `routing` the adaptive control plane at S1 scale; `mobility` the
-// physical-layer connectivity refreshes; `telemetry` the streaming
-// histogram, flight recorder and QoS scorecard hot paths; `principles`
-// the principle engines (gossip, clustering, resonance, feedback,
-// metamorphosis) at the S2 fleet size, each paired with its
-// pre-refactor per-op cost; `all` every suite in one document. A bare `-bench` and the old `-bench-routing`/
-// `-bench-mobility` booleans survive as deprecated aliases for `-bench
-// kernel`/`-bench routing`/`-bench mobility`.
+// -bench <kernel|routing|mobility|telemetry|principles|shard|all> switches
+// to the micro-benchmark suites, emitting a JSON document (the
+// BENCH_<suite>.json artifacts tracked by CI) instead of tables: `kernel`
+// times the kernel schedule/fire path, the per-packet send path and a
+// replicated E1 run; `routing` the adaptive control plane at S1 scale;
+// `mobility` the physical-layer connectivity refreshes; `telemetry` the
+// streaming histogram, flight recorder and QoS scorecard hot paths;
+// `principles` the principle engines (gossip, clustering, resonance,
+// feedback, metamorphosis) at the S2 fleet size, each paired with its
+// pre-refactor per-op cost; `shard` the space-partitioned executor — the
+// ShardGroup substrate plus the S3 smoke continent swept across 1/2/4/8
+// shard kernels over the same model workload, so the K=1 → K=8 ratio is a
+// parallel-speedup measurement; `all` every suite in one document. A bare
+// `-bench` and the old `-bench-routing`/`-bench-mobility` booleans survive
+// as deprecated aliases for `-bench kernel`/`-bench routing`/`-bench
+// mobility`.
+//
+// -shards K overrides how many shard kernels execute scenarios whose spec
+// declares districts (shards > 1): K must divide the district count (other
+// values fall back to one kernel per district). A fixed (spec, seed, K)
+// replays byte-identical across runs and across -workers; unsharded specs
+// like S1/S2 are never affected.
 //
 // -telemetry out.jsonl switches to the streaming-telemetry export: the
 // telemetry-capable experiments in the selection (default: all of them —
@@ -36,9 +46,9 @@
 //
 // Usage:
 //
-//	viatorbench [-seed N] [-reps N] [-workers K] [-csv|-json] [-only E5,E11] [-ablations] [-stress] [-list]
-//	viatorbench -scenario file.json | -scenario-dir dir [-seed N] [-reps N] [-workers K]
-//	viatorbench -bench <kernel|routing|mobility|telemetry|principles|all>
+//	viatorbench [-seed N] [-reps N] [-workers K] [-shards K] [-csv|-json] [-only E5,E11] [-ablations] [-stress] [-list]
+//	viatorbench -scenario file.json | -scenario-dir dir [-seed N] [-reps N] [-workers K] [-shards K]
+//	viatorbench -bench <kernel|routing|mobility|telemetry|principles|shard|all>
 //	viatorbench -telemetry out.jsonl [-only S1] [-reps N] [-workers K]
 package main
 
@@ -62,7 +72,7 @@ import (
 // benchSelectors are the valid -bench suite names.
 var benchSelectors = map[string]bool{
 	"kernel": true, "routing": true, "mobility": true, "telemetry": true,
-	"principles": true, "all": true,
+	"principles": true, "shard": true, "all": true,
 }
 
 // benchFlag is the -bench selector. It keeps bool-flag semantics so the
@@ -82,7 +92,7 @@ func (b *benchFlag) Set(s string) error {
 	case benchSelectors[s]:
 		b.suite = s
 	default:
-		return fmt.Errorf("valid suites: kernel, routing, mobility, telemetry, all")
+		return fmt.Errorf("valid suites: kernel, routing, mobility, telemetry, principles, shard, all")
 	}
 	return nil
 }
@@ -133,10 +143,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of aligned tables")
 	only := fs.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all paper experiments")
 	ablations := fs.Bool("ablations", false, "also run the design-knob ablation sweeps A1-A4")
-	stress := fs.Bool("stress", false, "also run the stress/scale scenarios (S1, S2)")
+	stress := fs.Bool("stress", false, "also run the stress/scale scenarios (S1, S2, S3S; heavy ones like S3 need -only)")
 	list := fs.Bool("list", false, "list registered experiment ids and exit")
+	shards := fs.Int("shards", 0, "shard kernels for sharded scenarios (0 = one per district; must divide the district count); fixed values replay exactly, unsharded specs unaffected")
 	var bench benchFlag
-	fs.Var(&bench, "bench", "run a micro-benchmark suite (kernel|routing|mobility|telemetry|all) and emit JSON (BENCH_<suite>.json)")
+	fs.Var(&bench, "bench", "run a micro-benchmark suite (kernel|routing|mobility|telemetry|principles|shard|all) and emit JSON (BENCH_<suite>.json)")
 	benchRouting := fs.Bool("bench-routing", false, "deprecated alias for -bench routing")
 	benchMobility := fs.Bool("bench-mobility", false, "deprecated alias for -bench mobility")
 	telemetryOut := fs.String("telemetry", "", "export streaming telemetry for the selected telemetry-capable experiments as JSON-lines to this file (plus a Prometheus snapshot beside it)")
@@ -149,9 +160,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// A stray positional arg is almost always a typo'd -bench selector
 		// (bool-flag semantics would otherwise silently run the kernel
 		// suite); refuse instead of guessing.
-		fmt.Fprintf(stderr, "viatorbench: unexpected argument %q (valid -bench suites: kernel, routing, mobility, telemetry, principles, all)\n", fs.Arg(0))
+		fmt.Fprintf(stderr, "viatorbench: unexpected argument %q (valid -bench suites: kernel, routing, mobility, telemetry, principles, shard, all)\n", fs.Arg(0))
 		return 2
 	}
+	viator.SetShardOverride(*shards)
 
 	if suite := resolveSuite(bench.suite, *benchRouting, *benchMobility); suite != "" {
 		return runBenchSuite(suite, *seed, *workers, stdout, stderr)
@@ -191,6 +203,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			switch {
 			case e.Ablation:
 				kind = "ablation"
+			case e.Heavy:
+				kind = "heavy"
 			case e.Stress:
 				kind = "stress"
 			}
@@ -381,6 +395,9 @@ func runBenchSuite(suite string, seed uint64, workers int, stdout, stderr io.Wri
 	if suite == "principles" || suite == "all" {
 		specs = append(specs, benchPrinciplesSuite(seed)...)
 	}
+	if suite == "shard" || suite == "all" {
+		specs = append(specs, benchShardSuite(seed)...)
+	}
 	var results []benchResult
 	for _, s := range specs {
 		r, ok := record(s.name, s.fn)
@@ -484,6 +501,38 @@ func benchPrinciplesSuite(seed uint64) []benchSpec {
 		{"principles.feedback_publish_scan", benchprobe.FeedbackPublishScan},
 		{"principles.metamorph_pulse", benchprobe.MetamorphPulse(seed)},
 	}
+}
+
+// benchShardSuite is the space-partitioned executor suite
+// (BENCH_shard.json): the ShardGroup substrate (windowed protocol at
+// 1/2/4/8 kernels, raw mailbox cycle — 0 allocs/op steady state) and the
+// end-to-end S3 smoke continent (10,000 ships in 8 districts) swept
+// across 1/2/4/8 shard kernels. The model workload is the same size and
+// shape at every K, so the s3_smoke_k1 → s3_smoke_k8 ns/op ratio is a
+// parallel-speedup measurement bounded by the runner's core count.
+func benchShardSuite(seed uint64) []benchSpec {
+	specs := []benchSpec{
+		{"shard.mailbox_cycle", benchprobe.ShardMailbox},
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		specs = append(specs, benchSpec{fmt.Sprintf("shard.group_windowed_k%d", k),
+			benchprobe.ShardGroupWindowed(k, 64)})
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		k := k
+		specs = append(specs, benchSpec{fmt.Sprintf("shard.s3_smoke_k%d", k), func(b *testing.B) {
+			prev := viator.ShardOverride()
+			viator.SetShardOverride(k)
+			defer viator.SetShardOverride(prev)
+			benchprobe.ShardEndToEnd(b, func() error {
+				if res := viator.ScenarioS3Smoke().Run(seed); !res.Pass() {
+					return fmt.Errorf("S3S assertions failed at K=%d", k)
+				}
+				return nil
+			})
+		}})
+	}
+	return specs
 }
 
 // splitIDs parses a comma-separated -only value into experiment ids

@@ -76,7 +76,7 @@ func TestBenchFlagSet(t *testing.T) {
 	if err := b.Set("false"); err != nil || b.suite != "" {
 		t.Fatalf("-bench=false: suite=%q err=%v, want empty", b.suite, err)
 	}
-	for _, s := range []string{"kernel", "routing", "mobility", "telemetry", "principles", "all"} {
+	for _, s := range []string{"kernel", "routing", "mobility", "telemetry", "principles", "shard", "all"} {
 		if err := b.Set(s); err != nil || b.suite != s {
 			t.Fatalf("-bench=%s: suite=%q err=%v", s, b.suite, err)
 		}
@@ -114,7 +114,7 @@ func TestListExitsZero(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list: exit %d, want 0", code)
 	}
-	for _, want := range []string{"E1", "S1", "S2", "stress", "ablation"} {
+	for _, want := range []string{"E1", "S1", "S2", "S3", "S3S", "stress", "ablation", "heavy"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out)
 		}
@@ -275,5 +275,65 @@ func TestScenarioReplicates(t *testing.T) {
 	}
 	if !strings.Contains(out, "±") {
 		t.Fatalf("-reps 2 table should aggregate cells into mean ±95%% CI:\n%s", out)
+	}
+}
+
+// shardedMiniSpec declares 4 districts of 4 ships joined by trunks — the
+// smallest sharded scenario the CLI paths can run quickly.
+const shardedMiniSpec = `{
+  "name": "minishard",
+  "title": "minishard: 16 ships in 4 trunked districts",
+  "ships": 16,
+  "horizon": 1.0,
+  "row_every": 0.5,
+  "arena": {"kind": "static", "side": 60.0, "radius": 50.0},
+  "shards": 4,
+  "trunk": {"bandwidth": 1048576, "delay": 0.02, "queue_cap": 65536},
+  "cross_traffic": {"period": 0.1, "overlay": "backbone"},
+  "pulse_period": 1.0,
+  "traffic": [{"kind": "uniform", "period": 0.1}],
+  "asserts": {"min_delivered": 1}
+}
+`
+
+// The -shards override: every fixed kernel count replays byte-identical,
+// and invalid counts (not dividing the 4 districts) fall back to the
+// spec default — one kernel per district — instead of erroring.
+func TestScenarioShardsOverride(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "minishard.json", shardedMiniSpec)
+	runAt := func(shards string) string {
+		t.Helper()
+		code, out, errOut := runCLI(t, "-scenario", path, "-shards", shards)
+		if code != 0 {
+			t.Fatalf("-shards %s: exit %d, want 0\nstderr: %s", shards, code, errOut)
+		}
+		return out
+	}
+	// Fixed K replays byte-identical.
+	for _, shards := range []string{"1", "2", "4"} {
+		if runAt(shards) != runAt(shards) {
+			t.Fatalf("-shards %s replay diverged", shards)
+		}
+	}
+	// 0 (spec default), 3 and 99 (invalid for 4 districts) all resolve to
+	// one kernel per district.
+	def := runAt("0")
+	for _, shards := range []string{"4", "3", "99"} {
+		if runAt(shards) != def {
+			t.Fatalf("-shards %s should resolve to the spec default (4 kernels)", shards)
+		}
+	}
+}
+
+// -shards must leave unsharded specs alone.
+func TestShardsFlagIgnoredByUnshardedSpec(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "mini.json", miniSpec)
+	_, want, _ := runCLI(t, "-scenario", path)
+	code, got, _ := runCLI(t, "-scenario", path, "-shards", "4")
+	if code != 0 {
+		t.Fatalf("-shards on unsharded spec: exit %d, want 0", code)
+	}
+	if got != want {
+		t.Fatal("-shards changed an unsharded scenario's output")
 	}
 }

@@ -299,6 +299,9 @@ func TestExperimentTablesRender(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
+			if e.Heavy {
+				t.Skipf("%s is heavy-scale; run via viatorbench -only %s", e.ID, e.ID)
+			}
 			tb := e.Run(7)
 			if tb.NumRows() == 0 {
 				t.Fatalf("%s table empty", e.ID)

@@ -102,6 +102,23 @@ type Spec struct {
 
 	Arena Arena `json:"arena"`
 
+	// Shards partitions the fleet into this many spatial districts, each
+	// run by its own kernel under the conservative sharded executor
+	// (0 or 1 = the plain single-kernel path). Ships must divide evenly:
+	// ship g lives in district g/(ships/shards) as local index
+	// g%(ships/shards), each district owning a full arena of its own.
+	// Districts are radio-isolated; the only inter-district paths are the
+	// trunks, whose propagation delay is the executor's lookahead.
+	Shards int `json:"shards,omitempty"`
+	// Trunk describes the long-haul links between every ordered district
+	// pair (required when shards > 1, forbidden otherwise).
+	Trunk *TrunkSpec `json:"trunk,omitempty"`
+	// CrossTraffic is the inter-district workload riding the trunks
+	// (shards > 1 only): each district emits one shuttle every Period
+	// seconds to a uniformly drawn ship in a uniformly drawn other
+	// district.
+	CrossTraffic *CrossTraffic `json:"cross_traffic,omitempty"`
+
 	// PulsePeriod drives the autopoietic pulse loop (routing adaptation,
 	// knowledge sweeps, resonance, reputation gossip).
 	PulsePeriod float64 `json:"pulse_period"`
@@ -133,6 +150,27 @@ type Arena struct {
 	MinSpeed float64 `json:"min_speed,omitempty"`
 	MaxSpeed float64 `json:"max_speed,omitempty"`
 	Pause    float64 `json:"pause,omitempty"`
+}
+
+// TrunkSpec describes the inter-district trunk links: bandwidth in bytes
+// per second, propagation delay in seconds (the conservative lookahead —
+// larger delays mean wider parallel windows), and the bounded output
+// queue in bytes.
+type TrunkSpec struct {
+	Bandwidth float64 `json:"bandwidth"`
+	Delay     float64 `json:"delay"`
+	QueueCap  int     `json:"queue_cap"`
+}
+
+// CrossTraffic is the inter-district generator: each district sends one
+// shuttle every Period seconds to a uniform ship in a uniform other
+// district, tagged with Overlay ("" = default data flow). Start/Stop
+// gate emission (Stop 0 = forever).
+type CrossTraffic struct {
+	Period  float64 `json:"period"`
+	Overlay string  `json:"overlay,omitempty"`
+	Start   float64 `json:"start,omitempty"`
+	Stop    float64 `json:"stop,omitempty"`
 }
 
 // SLO mirrors telemetry.SLO in spec form: the latency quantile that must
@@ -392,6 +430,9 @@ func (sp *Spec) Validate() error {
 	if err := sp.validateArena(); err != nil {
 		return err
 	}
+	if err := sp.validateSharding(); err != nil {
+		return err
+	}
 	if !(sp.PulsePeriod > 0) {
 		return sp.errf("pulse_period", "must be > 0, got %v", sp.PulsePeriod)
 	}
@@ -433,6 +474,9 @@ func (sp *Spec) Validate() error {
 			return err
 		}
 		overlays[sp.Traffic[i].Overlay] = true
+	}
+	if sp.CrossTraffic != nil {
+		overlays[sp.CrossTraffic.Overlay] = true
 	}
 	for i, f := range sp.Faults {
 		if err := sp.validateFault(i, f); err != nil {
@@ -498,6 +542,55 @@ func (sp *Spec) validateArena() error {
 	return nil
 }
 
+// validateSharding checks the shards/trunk/cross_traffic triple. The
+// sharded compiler derives its lookahead from trunk.delay, so the spec
+// refuses anything that would make the conservative windows degenerate
+// (zero delay) or the partition uneven (ships not divisible).
+func (sp *Spec) validateSharding() error {
+	if sp.Shards < 0 {
+		return sp.errf("shards", "must be >= 0, got %d", sp.Shards)
+	}
+	if sp.Shards <= 1 {
+		if sp.Trunk != nil {
+			return sp.errf("trunk", "requires shards > 1")
+		}
+		if sp.CrossTraffic != nil {
+			return sp.errf("cross_traffic", "requires shards > 1")
+		}
+		return nil
+	}
+	if sp.Ships%sp.Shards != 0 {
+		return sp.errf("shards", "ships (%d) must divide evenly into %d shards", sp.Ships, sp.Shards)
+	}
+	if sp.Ships/sp.Shards < 2 {
+		return sp.errf("shards", "each shard needs >= 2 ships, got %d", sp.Ships/sp.Shards)
+	}
+	if sp.Trunk == nil {
+		return sp.errf("trunk", "required when shards > 1 (the trunk delay is the lookahead)")
+	}
+	if !(sp.Trunk.Bandwidth > 0) {
+		return sp.errf("trunk.bandwidth", "must be > 0, got %v", sp.Trunk.Bandwidth)
+	}
+	if !(sp.Trunk.Delay > 0) {
+		return sp.errf("trunk.delay", "must be > 0 (zero lookahead forfeits all parallelism), got %v", sp.Trunk.Delay)
+	}
+	if sp.Trunk.QueueCap <= 0 {
+		return sp.errf("trunk.queue_cap", "must be > 0, got %d", sp.Trunk.QueueCap)
+	}
+	if sp.CrossTraffic != nil {
+		if !(sp.CrossTraffic.Period > 0) {
+			return sp.errf("cross_traffic.period", "must be > 0, got %v", sp.CrossTraffic.Period)
+		}
+		if err := sp.window("cross_traffic", sp.CrossTraffic.Start, sp.CrossTraffic.Stop); err != nil {
+			return err
+		}
+	}
+	if len(sp.Faults) > 0 {
+		return sp.errf("faults", "fault injection is not yet supported with shards > 1")
+	}
+	return nil
+}
+
 func (sp *Spec) validateSLO(path string, q, maxLat, minRatio float64) error {
 	if maxLat < 0 {
 		return sp.errf(path+".max_latency", "must be >= 0, got %v", maxLat)
@@ -535,6 +628,15 @@ func (sp *Spec) validateTraffic(i int) error {
 		}
 		if tr.Src == tr.Dst {
 			return sp.errf(path, "src and dst must differ")
+		}
+		if sp.Shards > 1 {
+			// Fixed pairs must live in the same district: the generators
+			// run on one shard's kernel, and only cross_traffic crosses.
+			size := sp.Ships / sp.Shards
+			if tr.Src/size != tr.Dst/size {
+				return sp.errf(path, "fixed pair spans districts %d and %d; inter-district traffic must use cross_traffic",
+					tr.Src/size, tr.Dst/size)
+			}
 		}
 		return nil
 	}

@@ -238,3 +238,119 @@ func TestNumRowsMatchesFloatLoop(t *testing.T) {
 		}
 	}
 }
+
+// shardedSpec exercises the sharding grammar: districts, trunks and the
+// inter-district cross-traffic generator.
+const shardedSpec = `{
+  "name": "continent",
+  "title": "continent: sharded districts over trunks",
+  "ships": 64,
+  "horizon": 4.0,
+  "row_every": 2.0,
+  "arena": {"kind": "mobile", "side": 800.0, "radius": 90.0, "refresh": 2.5, "min_speed": 2, "max_speed": 10, "pause": 1},
+  "shards": 4,
+  "trunk": {"bandwidth": 1048576, "delay": 0.02, "queue_cap": 65536},
+  "cross_traffic": {"period": 0.1, "overlay": "backbone", "start": 0.5},
+  "pulse_period": 1.0,
+  "slo": {"quantile": 0.95, "max_latency": 0.050, "min_delivery_ratio": 0.60},
+  "traffic": [
+    {"kind": "uniform", "period": 0.05},
+    {"kind": "cbr", "rate": 4, "src": 17, "dst": 18, "overlay": "stream"}
+  ],
+  "asserts": {
+    "flows": [{"flow": "backbone", "min_delivery_ratio": 0.30}],
+    "min_delivered": 10
+  }
+}
+`
+
+func editSharded(t *testing.T, old, new string) []byte {
+	t.Helper()
+	if !strings.Contains(shardedSpec, old) {
+		t.Fatalf("editSharded: %q not in shardedSpec", old)
+	}
+	return []byte(strings.Replace(shardedSpec, old, new, 1))
+}
+
+func TestParseShardedSpec(t *testing.T) {
+	sp, err := Parse([]byte(shardedSpec))
+	if err != nil {
+		t.Fatalf("Parse(shardedSpec): %v", err)
+	}
+	if sp.Shards != 4 || sp.Trunk == nil || sp.Trunk.Delay != 0.02 || sp.CrossTraffic == nil {
+		t.Fatalf("sharding fields lost: %+v", sp)
+	}
+	// Round trip preserves the sharding fields.
+	out, err := sp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("Parse(Marshal(sp)): %v", err)
+	}
+	if !reflect.DeepEqual(sp, sp2) {
+		t.Fatalf("round trip changed the sharded spec")
+	}
+}
+
+func TestValidateShardingPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new string
+		wantPath string
+	}{
+		{"negative shards", `"shards": 4`, `"shards": -1`, "shards"},
+		{"uneven split", `"shards": 4`, `"shards": 5`, "shards"},
+		{"shard too small", `"ships": 64`, `"ships": 4`, "shards"},
+		{"trunk missing", `"trunk": {"bandwidth": 1048576, "delay": 0.02, "queue_cap": 65536},`, ``, "trunk"},
+		{"zero trunk bandwidth", `"bandwidth": 1048576`, `"bandwidth": 0`, "trunk.bandwidth"},
+		{"zero trunk delay", `"delay": 0.02`, `"delay": 0`, "trunk.delay"},
+		{"zero trunk queue", `"queue_cap": 65536`, `"queue_cap": 0`, "trunk.queue_cap"},
+		{"zero cross period", `"cross_traffic": {"period": 0.1,`, `"cross_traffic": {"period": 0,`, "cross_traffic.period"},
+		{"bad cross window", `"start": 0.5}`, `"start": -1}`, "cross_traffic.start"},
+		{"cross-district fixed pair", `"src": 17, "dst": 18`, `"src": 15, "dst": 18`, "traffic[1]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(editSharded(t, c.old, c.new))
+			if err == nil {
+				t.Fatal("want validation error, got nil")
+			}
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("want *scenario.Error, got %T: %v", err, err)
+			}
+			if se.Path != c.wantPath {
+				t.Errorf("Path = %q, want %q (err: %v)", se.Path, c.wantPath, err)
+			}
+		})
+	}
+}
+
+func TestUnshardedForbidsTrunkAndCrossTraffic(t *testing.T) {
+	for _, c := range []struct {
+		name, repl, wantPath string
+	}{
+		{"trunk", `"shards": 4,`, "trunk"},
+		{"cross", `"shards": 4,
+  "trunk": {"bandwidth": 1048576, "delay": 0.02, "queue_cap": 65536},`, "cross_traffic"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(editSharded(t, c.repl, ""))
+			var se *Error
+			if err == nil || !errors.As(err, &se) || se.Path != c.wantPath {
+				t.Fatalf("want path %q error, got %v", c.wantPath, err)
+			}
+		})
+	}
+}
+
+func TestShardedFaultsRejected(t *testing.T) {
+	withFault := editSharded(t, `"asserts": {`, `"faults": [{"at": 1.0, "kind": "kill_node", "node": 3}],
+  "asserts": {`)
+	_, err := Parse(withFault)
+	if err == nil || !strings.Contains(err.Error(), "not yet supported with shards") {
+		t.Fatalf("sharded spec with faults should be rejected, got: %v", err)
+	}
+}

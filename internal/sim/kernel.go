@@ -243,6 +243,80 @@ func (k *Kernel) Drain() uint64 {
 	return k.Run(math.Inf(1))
 }
 
+// NextEventTime returns the timestamp of the earliest queued event and
+// whether one exists. Cancelled-but-unexpired events count: their slot
+// still occupies the queue until its timestamp passes, and a conservative
+// scheduler that treated them as absent could compute a horizon the
+// kernel then fails to honor. An empty queue reports ok == false — the
+// idle-shard signal the sharded executor uses to skip a shard entirely.
+//
+//viator:noalloc
+func (k *Kernel) NextEventTime() (Time, bool) {
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.slots[k.heap[0]].at, true
+}
+
+// RunBefore executes events with timestamps strictly below horizon, in
+// the same (at, seq) order as Run, and returns the number fired. Unlike
+// Run it never advances the clock past the last fired event: the caller
+// owns the window boundary. This is the windowed primitive of the sharded
+// executor — each shard runs [now, horizon) and stops, so no shard can
+// observe a cross-shard event that a slower shard has yet to send.
+//
+//viator:noalloc
+func (k *Kernel) RunBefore(horizon Time) uint64 {
+	k.stopped = false
+	start := k.fired
+	for len(k.heap) > 0 && !k.stopped {
+		id := k.heap[0]
+		s := &k.slots[id]
+		if s.at >= horizon {
+			break
+		}
+		at, fn, dead := s.at, s.fn, s.dead
+		k.popRoot()
+		k.release(id)
+		if dead {
+			continue
+		}
+		k.now = at
+		k.fired++
+		fn()
+	}
+	return k.fired - start
+}
+
+// StepNext fires exactly the earliest live event if its timestamp is at
+// or before until, reporting whether one fired. Cancelled slots at or
+// before until are consumed silently on the way. Like RunBefore it never
+// advances the clock on its own: it is the single-step primitive behind
+// the sharded executor's zero-lookahead sequential merge, where the
+// global (time, shard) order must be re-evaluated after every event.
+//
+//viator:noalloc
+func (k *Kernel) StepNext(until Time) bool {
+	for len(k.heap) > 0 {
+		id := k.heap[0]
+		s := &k.slots[id]
+		if s.at > until {
+			return false
+		}
+		at, fn, dead := s.at, s.fn, s.dead
+		k.popRoot()
+		k.release(id)
+		if dead {
+			continue
+		}
+		k.now = at
+		k.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
 // Every schedules fn to run now+period, then every period thereafter, until
 // the returned Ticker is stopped. The callback observes the kernel clock.
 func (k *Kernel) Every(period Time, fn func()) *Ticker {

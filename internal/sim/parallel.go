@@ -13,6 +13,18 @@ type Trial[T any] func(index int, seed uint64) T
 // returns the results in trial order. Each trial gets a distinct seed
 // deterministically derived from baseSeed, so the full set of results is
 // reproducible regardless of scheduling. workers <= 0 selects GOMAXPROCS.
+//
+// The seed stream is a function of (n, baseSeed) alone: trial i always
+// receives the i-th draw of a splitmix64 stream rooted at baseSeed, for
+// every workers value. In particular workers > n is clamped to n — the
+// extra workers would only idle — and the clamp cannot perturb seeds or
+// results, only the degree of concurrency.
+//
+// Replicate-level parallelism composes with shard-level parallelism
+// (ShardGroup): a sharded trial runs K shard goroutines of its own, so a
+// caller replicating sharded runs should split the core budget — roughly
+// GOMAXPROCS/K replicate workers — rather than multiply the two. Both
+// knobs are pure execution controls; neither affects any trajectory.
 func RunParallel[T any](n int, baseSeed uint64, workers int, trial Trial[T]) []T {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -61,6 +61,29 @@ func TestRunParallelEdgeCases(t *testing.T) {
 	}
 }
 
+// The seed stream is a function of (n, baseSeed) alone: workers > n is
+// clamped and must hand out the exact same seeds as workers = 1.
+func TestRunParallelSeedStreamUnaffectedByWorkerSurplus(t *testing.T) {
+	const n = 3
+	want := RunParallel(n, 99, 1, func(i int, seed uint64) uint64 { return seed })
+	for _, w := range []int{n + 1, 64, 0} {
+		got := RunParallel(n, 99, w, func(i int, seed uint64) uint64 { return seed })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: trial %d seed %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+	// The stream matches the documented derivation: draw i of a splitmix64
+	// stream rooted at baseSeed.
+	root := NewRNG(99)
+	for i := range want {
+		if s := root.Uint64(); want[i] != s {
+			t.Fatalf("trial %d seed %d, want stream draw %d", i, want[i], s)
+		}
+	}
+}
+
 func TestRunParallelActuallyUsesWorkers(t *testing.T) {
 	if runtime.GOMAXPROCS(0) < 2 {
 		t.Skip("single-core environment")

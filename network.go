@@ -44,6 +44,11 @@ import (
 type Config struct {
 	// Seed drives every random decision; equal seeds replay exactly.
 	Seed uint64
+	// Kernel, when non-nil, is the event kernel the network runs on
+	// instead of a fresh one seeded from Seed — the injection point the
+	// sharded executor uses to run several district networks on shard
+	// kernels it owns. The kernel's RNG then drives every random decision.
+	Kernel *sim.Kernel
 	// Graph is the physical topology; nil selects a connected Waxman
 	// graph of NumShips nodes.
 	Graph *topo.Graph
@@ -119,7 +124,10 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.Generation == 0 {
 		cfg.Generation = 4
 	}
-	k := sim.NewKernel(cfg.Seed)
+	k := cfg.Kernel
+	if k == nil {
+		k = sim.NewKernel(cfg.Seed)
+	}
 	g := cfg.Graph
 	if g == nil {
 		g = topo.ConnectedWaxman(cfg.NumShips, 0.3, 0.25, k.Rand.Split())

@@ -20,8 +20,13 @@ type Experiment struct {
 	// they run only when selected explicitly (-only, -stress), never as
 	// part of the default paper sweep, so paper output stays stable.
 	Stress bool
-	Run    func(seed uint64) *Table
-	Check  func(*Table) error
+	// Heavy marks experiments too large for sweep selection: they run
+	// ONLY when named explicitly with -only, never via -stress or the
+	// full catalog, and the iterating tests/benchmarks skip them. S3 (a
+	// 100k-ship continent) is heavy; its smoke variant S3S is not.
+	Heavy bool
+	Run   func(seed uint64) *Table
+	Check func(*Table) error
 	// Telemetry, when non-nil, runs the experiment for one seed and
 	// returns its streaming-telemetry dump (recorder series, histograms,
 	// QoS scorecards) — the provider behind `viatorbench -telemetry` and
@@ -95,11 +100,13 @@ func (r *Registry) Paper() []Experiment {
 	return out
 }
 
-// Stress returns the stress/scale scenarios in registration order.
+// Stress returns the stress/scale scenarios in registration order. Heavy
+// experiments are excluded: a -stress sweep must stay CI-feasible, so the
+// continent-scale runs only fire when named explicitly.
 func (r *Registry) Stress() []Experiment {
 	var out []Experiment
 	for _, e := range r.Experiments() {
-		if e.Stress {
+		if e.Stress && !e.Heavy {
 			out = append(out, e)
 		}
 	}
@@ -215,5 +222,18 @@ func DefaultRegistry() *Registry {
 		Stress: true, Run: func(s uint64) *Table { return scenarioS2.Run(s).Table() },
 		Check:     wantRows(scenarioS2.Spec.NumRows()),
 		Telemetry: func(s uint64) *telemetry.Dump { return scenarioS2.Run(s).Dump }})
+	// The sharded continent runs on the space-partitioned kernel: 8 radio-
+	// isolated districts joined by trunks, executed on up to 8 event kernels
+	// (see shardrun.go). Sharded runs have no streaming telemetry dump, so
+	// neither registers a Telemetry provider. S3S is the CI-sized smoke
+	// variant; the full 100k-ship S3 is Heavy and runs only via -only S3.
+	r.Register(Experiment{ID: "S3", Title: "Stress — continent: 100,000 mobile ships in 8 trunked districts",
+		Stress: true, Heavy: true,
+		Run:   func(s uint64) *Table { return scenarioS3.Run(s).Table() },
+		Check: wantRows(scenarioS3.Spec.NumRows())})
+	r.Register(Experiment{ID: "S3S", Title: "Stress — continent smoke: 10,000 mobile ships in 8 trunked districts",
+		Stress: true,
+		Run:    func(s uint64) *Table { return scenarioS3S.Run(s).Table() },
+		Check:  wantRows(scenarioS3S.Spec.NumRows())})
 	return r
 }

@@ -7,8 +7,8 @@ import (
 
 func TestDefaultRegistryCatalog(t *testing.T) {
 	reg := DefaultRegistry()
-	if got := len(reg.Experiments()); got != 18 {
-		t.Fatalf("registry size = %d, want 18 (E1-E12 + A1-A4 + S1-S2)", got)
+	if got := len(reg.Experiments()); got != 20 {
+		t.Fatalf("registry size = %d, want 20 (E1-E12 + A1-A4 + S1-S3 + S3S)", got)
 	}
 	if got := len(reg.Paper()); got != 12 {
 		t.Fatalf("paper experiments = %d, want 12", got)
@@ -16,8 +16,17 @@ func TestDefaultRegistryCatalog(t *testing.T) {
 	if got := len(reg.Ablations()); got != 4 {
 		t.Fatalf("ablations = %d, want 4", got)
 	}
-	if got := len(reg.Stress()); got != 2 {
-		t.Fatalf("stress scenarios = %d, want 2", got)
+	// S3 is Heavy, so the stress sweep holds S1, S2 and the S3S smoke only.
+	if got := len(reg.Stress()); got != 3 {
+		t.Fatalf("stress scenarios = %d, want 3", got)
+	}
+	for _, e := range reg.Stress() {
+		if e.Heavy {
+			t.Fatalf("Stress() leaked heavy experiment %s", e.ID)
+		}
+	}
+	if e, ok := reg.Get("S3"); !ok || !e.Heavy || !e.Stress {
+		t.Fatalf("S3 descriptor wrong: ok=%v heavy=%v stress=%v", ok, e.Heavy, e.Stress)
 	}
 	// IDs are unique, ordered, and every descriptor is complete.
 	ids := reg.IDs()
@@ -51,7 +60,7 @@ func TestRegistryResolve(t *testing.T) {
 
 	// Empty selection = everything, in order.
 	all, err := reg.Resolve(nil)
-	if err != nil || len(all) != 18 {
+	if err != nil || len(all) != 20 {
 		t.Fatalf("Resolve(nil) = %d experiments, err %v", len(all), err)
 	}
 

@@ -3,6 +3,7 @@ package viator
 import (
 	"embed"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"viator/internal/metamorph"
@@ -204,8 +205,14 @@ func (r *scenarioRun) repairs() uint64 {
 	return 0
 }
 
-// Run executes the scenario for one seed.
+// Run executes the scenario for one seed. Specs declaring shards > 1
+// compile onto the sharded executor (see shardrun.go); everything else
+// takes the single-kernel path below, whatever the -shards override says
+// — so S1/S2 output is bit-for-bit independent of the shard knob.
 func (sc *Scenario) Run(seed uint64) *ScenarioResult {
+	if k := sc.shardKernels(); k > 0 {
+		return sc.runSharded(seed, k)
+	}
 	sp := sc.Spec
 	cfg := DefaultConfig(sp.Ships, seed)
 	cfg.UnfairFraction = sp.UnfairFraction
@@ -525,6 +532,16 @@ func RunScenarioReplicated(sc *Scenario, reps int, baseSeed uint64, workers int)
 		return nil, nil, fmt.Errorf("viator: reps = %d, want >= 1", reps)
 	}
 	id := sc.ScenarioID()
+	if k := sc.shardKernels(); k > 1 {
+		// Worker-budget split: each sharded replicate already runs k shard
+		// goroutines, so the replicate fan-out gets the remaining budget
+		// (an execution decision only — seeds and results are computed
+		// identically for any worker count; see sim.RunParallel docs).
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		workers = max(1, workers/k)
+	}
 	runs := sim.RunParallel(reps, replicateSeed(baseSeed, id), workers, func(i int, seed uint64) ScenarioReplicate {
 		if reps == 1 {
 			seed = baseSeed
@@ -548,7 +565,7 @@ func RunScenarioReplicated(sc *Scenario, reps int, baseSeed uint64, workers int)
 // the DSL. The registry compiles them at init, so "the S1 the paper
 // tables cite" and "the s1.json a user edits" can never drift apart.
 //
-//go:embed scenarios/s1.json scenarios/s2.json
+//go:embed scenarios/s1.json scenarios/s2.json scenarios/s3.json scenarios/s3_smoke.json
 var builtinSpecFS embed.FS
 
 // mustLoadBuiltin compiles one embedded spec; failures are programming
@@ -565,9 +582,21 @@ func mustLoadBuiltin(path string) *Scenario {
 	return sc
 }
 
-// scenarioS1/S2 are the compiled builtin stress scenarios behind the
-// registry's S1/S2 entries.
+// scenarioS1/S2/S3/S3S are the compiled builtin stress scenarios behind
+// the registry's S1/S2/S3/S3S entries. S3 is the sharded "continent"
+// (100k ships, heavy class: explicit -only S3 runs only); S3S is its
+// CI-sized smoke variant and the base the shard benchmarks sweep.
 var (
-	scenarioS1 = mustLoadBuiltin("scenarios/s1.json")
-	scenarioS2 = mustLoadBuiltin("scenarios/s2.json")
+	scenarioS1  = mustLoadBuiltin("scenarios/s1.json")
+	scenarioS2  = mustLoadBuiltin("scenarios/s2.json")
+	scenarioS3  = mustLoadBuiltin("scenarios/s3.json")
+	scenarioS3S = mustLoadBuiltin("scenarios/s3_smoke.json")
 )
+
+// ScenarioS3Smoke exposes the compiled smoke-scale continent scenario
+// for the shard benchmark suite (internal/benchprobe bodies run it at
+// several -shards settings).
+func ScenarioS3Smoke() *Scenario { return scenarioS3S }
+
+// ScenarioS3 exposes the full continent scenario (heavy class).
+func ScenarioS3() *Scenario { return scenarioS3 }
