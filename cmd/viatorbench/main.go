@@ -13,7 +13,7 @@
 // suite. The process exits 1 if any replicate fails an assertion and 2
 // for unparseable or invalid specs, so scenario suites gate CI directly.
 //
-// -bench <kernel|routing|mobility|telemetry|principles|shard|all> switches
+// -bench <kernel|routing|mobility|telemetry|principles|shard|serve|all> switches
 // to the micro-benchmark suites, emitting a JSON document (the
 // BENCH_<suite>.json artifacts tracked by CI) instead of tables: `kernel`
 // times the kernel schedule/fire path, the per-packet send path and a
@@ -25,7 +25,9 @@
 // pre-refactor per-op cost; `shard` the space-partitioned executor — the
 // ShardGroup substrate plus the S3 smoke continent swept across 1/2/4/8
 // shard kernels over the same model workload, so the K=1 → K=8 ratio is a
-// parallel-speedup measurement; `all` every suite in one document. A bare
+// parallel-speedup measurement; `serve` the live service mode's
+// per-barrier snapshot publication and /metrics rendering; `all` every
+// suite in one document. A bare
 // `-bench` and the old `-bench-routing`/`-bench-mobility` booleans survive
 // as deprecated aliases for `-bench kernel`/`-bench routing`/`-bench
 // mobility`.
@@ -48,7 +50,7 @@
 //
 //	viatorbench [-seed N] [-reps N] [-workers K] [-shards K] [-csv|-json] [-only E5,E11] [-ablations] [-stress] [-list]
 //	viatorbench -scenario file.json | -scenario-dir dir [-seed N] [-reps N] [-workers K] [-shards K]
-//	viatorbench -bench <kernel|routing|mobility|telemetry|principles|shard|all>
+//	viatorbench -bench <kernel|routing|mobility|telemetry|principles|shard|serve|all>
 //	viatorbench -telemetry out.jsonl [-only S1] [-reps N] [-workers K]
 package main
 
@@ -67,12 +69,13 @@ import (
 
 	"viator"
 	"viator/internal/benchprobe"
+	"viator/internal/serve"
 )
 
 // benchSelectors are the valid -bench suite names.
 var benchSelectors = map[string]bool{
 	"kernel": true, "routing": true, "mobility": true, "telemetry": true,
-	"principles": true, "shard": true, "all": true,
+	"principles": true, "shard": true, "serve": true, "all": true,
 }
 
 // benchFlag is the -bench selector. It keeps bool-flag semantics so the
@@ -92,7 +95,7 @@ func (b *benchFlag) Set(s string) error {
 	case benchSelectors[s]:
 		b.suite = s
 	default:
-		return fmt.Errorf("valid suites: kernel, routing, mobility, telemetry, principles, shard, all")
+		return fmt.Errorf("valid suites: kernel, routing, mobility, telemetry, principles, shard, serve, all")
 	}
 	return nil
 }
@@ -147,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list registered experiment ids and exit")
 	shards := fs.Int("shards", 0, "shard kernels for sharded scenarios (0 = one per district; must divide the district count); fixed values replay exactly, unsharded specs unaffected")
 	var bench benchFlag
-	fs.Var(&bench, "bench", "run a micro-benchmark suite (kernel|routing|mobility|telemetry|principles|shard|all) and emit JSON (BENCH_<suite>.json)")
+	fs.Var(&bench, "bench", "run a micro-benchmark suite (kernel|routing|mobility|telemetry|principles|shard|serve|all) and emit JSON (BENCH_<suite>.json)")
 	benchRouting := fs.Bool("bench-routing", false, "deprecated alias for -bench routing")
 	benchMobility := fs.Bool("bench-mobility", false, "deprecated alias for -bench mobility")
 	telemetryOut := fs.String("telemetry", "", "export streaming telemetry for the selected telemetry-capable experiments as JSON-lines to this file (plus a Prometheus snapshot beside it)")
@@ -160,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// A stray positional arg is almost always a typo'd -bench selector
 		// (bool-flag semantics would otherwise silently run the kernel
 		// suite); refuse instead of guessing.
-		fmt.Fprintf(stderr, "viatorbench: unexpected argument %q (valid -bench suites: kernel, routing, mobility, telemetry, principles, shard, all)\n", fs.Arg(0))
+		fmt.Fprintf(stderr, "viatorbench: unexpected argument %q (valid -bench suites: kernel, routing, mobility, telemetry, principles, shard, serve, all)\n", fs.Arg(0))
 		return 2
 	}
 	viator.SetShardOverride(*shards)
@@ -398,6 +401,9 @@ func runBenchSuite(suite string, seed uint64, workers int, stdout, stderr io.Wri
 	if suite == "shard" || suite == "all" {
 		specs = append(specs, benchShardSuite(seed)...)
 	}
+	if suite == "serve" || suite == "all" {
+		specs = append(specs, benchServeSuite()...)
+	}
 	var results []benchResult
 	for _, s := range specs {
 		r, ok := record(s.name, s.fn)
@@ -535,6 +541,26 @@ func benchShardSuite(seed uint64) []benchSpec {
 	return specs
 }
 
+// benchServeSuite is the live-service suite (BENCH_serve.json): the
+// driver's per-barrier snapshot publication (status + Prometheus
+// families + stream lines, rendered and broadcast at a paused barrier)
+// and one run's share of a /metrics scrape. Bodies are shared with
+// internal/serve's bench_test.go via serve.SnapshotBench and
+// internal/benchprobe, so CI's benchmark step and this artifact measure
+// the same loops.
+func benchServeSuite() []benchSpec {
+	return []benchSpec{
+		{"serve.snapshot_publish", func(b *testing.B) {
+			publish, err := serve.SnapshotBench()
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchprobe.ServeSnapshot(b, publish)
+		}},
+		{"serve.metrics_render", benchprobe.MetricsRender},
+	}
+}
+
 // splitIDs parses a comma-separated -only value into experiment ids
 // (nil for an empty selection).
 func splitIDs(only string) []string {
@@ -547,13 +573,9 @@ func splitIDs(only string) []string {
 	return ids
 }
 
-// writeFile creates path and streams emit's output into it through a
+// writeInto streams emit's output into an already-created file through a
 // buffered writer, surfacing flush/close errors.
-func writeFile(path string, emit func(w *bufio.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
+func writeInto(f *os.File, emit func(w *bufio.Writer) error) error {
 	w := bufio.NewWriter(f)
 	if err := emit(w); err != nil {
 		f.Close()
@@ -569,12 +591,33 @@ func writeFile(path string, emit func(w *bufio.Writer) error) error {
 // runTelemetryExport is the -telemetry mode: collect streaming telemetry
 // for the selected (or all) telemetry-capable experiments and write the
 // JSON-lines export plus one Prometheus snapshot of the pooled merges.
+// Both destinations are created before any experiment runs, so an
+// unwritable path fails in milliseconds rather than after the full
+// replicate sweep.
 func runTelemetryExport(reg *viator.Registry, ids []string, reps int, seed uint64, workers int, path string, stdout io.Writer) error {
-	results, err := reg.CollectTelemetry(ids, reps, seed, workers)
+	promPath := strings.TrimSuffix(path, filepath.Ext(path)) + ".prom"
+	if promPath == path {
+		promPath = path + ".prom"
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := writeFile(path, func(w *bufio.Writer) error {
+	pf, err := os.Create(promPath)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	results, err := reg.CollectTelemetry(ids, reps, seed, workers)
+	if err != nil {
+		f.Close()
+		pf.Close()
+		os.Remove(path)
+		os.Remove(promPath)
+		return err
+	}
+	if err := writeInto(f, func(w *bufio.Writer) error {
 		for _, tr := range results {
 			if err := tr.WriteJSONL(w); err != nil {
 				return err
@@ -582,13 +625,10 @@ func runTelemetryExport(reg *viator.Registry, ids []string, reps int, seed uint6
 		}
 		return nil
 	}); err != nil {
+		pf.Close()
 		return err
 	}
-	promPath := strings.TrimSuffix(path, filepath.Ext(path)) + ".prom"
-	if promPath == path {
-		promPath = path + ".prom"
-	}
-	if err := writeFile(promPath, func(w *bufio.Writer) error {
+	if err := writeInto(pf, func(w *bufio.Writer) error {
 		return viator.WritePromSnapshot(w, results)
 	}); err != nil {
 		return err

@@ -76,7 +76,7 @@ func TestBenchFlagSet(t *testing.T) {
 	if err := b.Set("false"); err != nil || b.suite != "" {
 		t.Fatalf("-bench=false: suite=%q err=%v, want empty", b.suite, err)
 	}
-	for _, s := range []string{"kernel", "routing", "mobility", "telemetry", "principles", "shard", "all"} {
+	for _, s := range []string{"kernel", "routing", "mobility", "telemetry", "principles", "shard", "serve", "all"} {
 		if err := b.Set(s); err != nil || b.suite != s {
 			t.Fatalf("-bench=%s: suite=%q err=%v", s, b.suite, err)
 		}
@@ -335,5 +335,47 @@ func TestShardsFlagIgnoredByUnshardedSpec(t *testing.T) {
 	}
 	if got != want {
 		t.Fatal("-shards changed an unsharded scenario's output")
+	}
+}
+
+// TestTelemetryUnwritableOutputFailsFast pins the -telemetry fail-fast
+// contract: an unwritable destination must be rejected before any
+// experiment runs (the destinations are created up front), so the exit
+// is immediate and code 1.
+func TestTelemetryUnwritableOutputFailsFast(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+	}{
+		{"missing parent dir", filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")},
+		{"directory as file", t.TempDir()},
+	}
+	for _, c := range cases {
+		code, _, errOut := runCLI(t, "-telemetry", c.path, "-only", "S1", "-reps", "1")
+		if code != 1 {
+			t.Fatalf("%s: exit %d, want 1", c.name, code)
+		}
+		if errOut == "" {
+			t.Fatalf("%s: no error on stderr", c.name)
+		}
+	}
+}
+
+// TestTelemetryNoProviderExitsOne: a valid selection with no
+// telemetry-capable experiment is an error, and the pre-created
+// destination files must not be left behind.
+func TestTelemetryNoProviderExitsOne(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.jsonl")
+	code, _, errOut := runCLI(t, "-telemetry", out, "-only", "E1")
+	if code != 1 {
+		t.Fatalf("-telemetry -only E1: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "no telemetry-capable") {
+		t.Fatalf("stderr should explain the empty selection:\n%s", errOut)
+	}
+	for _, p := range []string{out, strings.TrimSuffix(out, ".jsonl") + ".prom"} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s left behind after failed export (err=%v)", p, err)
+		}
 	}
 }

@@ -1,0 +1,82 @@
+// Command viatorserve is viator's live service mode: a resident HTTP
+// server that hosts scenario runs executing continuously on the
+// deterministic kernel while exposing streaming telemetry, run control
+// and pprof. Runs are started over the JSON API (builtin catalog name or
+// an inline scenario-DSL spec) and observed through /metrics (live
+// Prometheus text), /api/v1/stream (live JSONL rollups and trace events)
+// and the /api/v1/runs status endpoints — all reads come from immutable
+// snapshots published at telemetry-tick barriers, so observation cannot
+// perturb a run.
+//
+// Usage:
+//
+//	viatorserve [-addr :8077] [-pace 1] [-publish-every 0.5] [-run s1 [-seed 42]]
+//
+// -pace scales sim time against wall time: 1 runs scenarios in real
+// time (one sim second per wall second), 10 runs them 10x faster, and 0
+// free-runs the kernel flat out. -run starts one run at boot so the
+// server is immediately scrapeable without an API call.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"viator/internal/serve"
+)
+
+// sleepPacer throttles drivers against the wall clock: each published
+// window of simDelta sim seconds costs simDelta/factor wall seconds.
+// This is the only wall-clock coupling in the service and it lives here,
+// outside the deterministic lint scope — internal/serve itself never
+// reads time.
+type sleepPacer struct {
+	factor float64 // sim seconds per wall second
+}
+
+func (p sleepPacer) Pace(simDelta float64) {
+	time.Sleep(time.Duration(simDelta / p.factor * float64(time.Second)))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("viatorserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8077", "listen address")
+	pace := fs.Float64("pace", 1, "sim seconds advanced per wall second; 0 free-runs")
+	publishEvery := fs.Float64("publish-every", 0.5, "snapshot publication period in sim seconds")
+	bootRun := fs.String("run", "", "scenario to start at boot (s1, s2, s3, s3s)")
+	bootSeed := fs.Uint64("seed", 42, "seed for the boot run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := serve.Config{PublishEvery: *publishEvery}
+	if *pace > 0 {
+		cfg.Pacer = sleepPacer{factor: *pace}
+	}
+	s := serve.New(cfg)
+
+	if *bootRun != "" {
+		r, err := s.Start(*bootRun, *bootSeed)
+		if err != nil {
+			fmt.Fprintf(stderr, "viatorserve: -run %s: %v\n", *bootRun, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "started run %s (%s, seed %d)\n", r.ID(), *bootRun, *bootSeed)
+	}
+
+	fmt.Fprintf(stdout, "viatorserve listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fmt.Fprintf(stderr, "viatorserve: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,87 @@
+package benchprobe
+
+import (
+	"io"
+	"testing"
+
+	"viator/internal/sim"
+	"viator/internal/telemetry"
+)
+
+// --- live-service benchmarks (BENCH_serve.json) ---
+
+// serveDump builds a telemetry dump the size a resident stress run
+// publishes: a filled recorder (12 series with windowed rollups), two
+// well-populated latency histograms and a scored flow set.
+func serveDump() *telemetry.Dump {
+	rec := telemetry.NewRecorder(256, 4)
+	cum := 0.0
+	for s := 0; s < 12; s++ {
+		s := s
+		if s%2 == 0 {
+			rec.CounterFn("counter", func() float64 { return cum * float64(s+1) })
+		} else {
+			rec.Gauge("gauge", func() float64 { return cum - float64(s) })
+		}
+	}
+	now := 0.0
+	for i := 0; i < 512; i++ {
+		cum++
+		now += 0.5
+		rec.Tick(now)
+	}
+
+	rng := sim.NewRNG(1)
+	lat, q := telemetry.NewHist(), telemetry.NewHist()
+	for i := 0; i < 100_000; i++ {
+		lat.Observe(rng.Exp(0.01))
+		q.Observe(float64(rng.Intn(64)))
+	}
+
+	qos := telemetry.NewScoreSet()
+	for _, name := range []string{"default", "stream", "bulk"} {
+		f := qos.Flow(name, telemetry.SLO{Quantile: 0.95, MaxLatency: 0.05, MinDeliveryRatio: 0.5})
+		for i := 0; i < 10_000; i++ {
+			qos.Sent(f)
+			qos.Delivered(f, rng.Exp(0.01))
+		}
+	}
+
+	return &telemetry.Dump{
+		Rec: rec,
+		Hists: []telemetry.NamedHist{
+			{Name: "delivery_latency", H: lat},
+			{Name: "queue_depth", H: q},
+		},
+		QoS: qos,
+	}
+}
+
+// MetricsRender measures one run's share of a /metrics scrape at the
+// published-snapshot seam: rendering the dump into Prometheus family
+// chunks (what the driver pays per barrier) plus stitching and writing
+// them (what the handler pays per scrape).
+func MetricsRender(b *testing.B) {
+	b.ReportAllocs()
+	d := serveDump()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fams := telemetry.PromFamilies(d, `run="r1",scenario="s1"`)
+		if err := telemetry.WritePromFamilies(io.Discard, fams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ServeSnapshot measures one injected snapshot-publication closure per
+// op. The closure is built by serve.SnapshotBench (benchprobe cannot
+// import the viator root package — the root's own bench_test.go would
+// then form an import cycle), so the serve package and viatorbench both
+// time the identical driver-side publication path.
+func ServeSnapshot(b *testing.B, publish func()) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		publish()
+	}
+}

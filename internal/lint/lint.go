@@ -129,6 +129,11 @@ var DeterministicPackages = map[string]bool{
 	// The scenario DSL validates and lowers specs onto runs; its output
 	// feeds the same byte-identity contract as the root catalog.
 	"viator/internal/scenario": true,
+	// The live service drives resident runs and publishes their state;
+	// it must never read wall time (pacing is injected via serve.Pacer,
+	// implemented in cmd/viatorserve) or leak map order into anything a
+	// client can observe.
+	"viator/internal/serve": true,
 }
 
 // detFixture marks linttest fixture packages that should be treated as

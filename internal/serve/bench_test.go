@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"testing"
+
+	"viator/internal/benchprobe"
+)
+
+// BenchmarkServeSnapshot times the driver's per-barrier publication:
+// read run state, render status + Prometheus families + stream lines,
+// store the snapshot, broadcast. This is the entire observability cost a
+// resident run pays per telemetry tick; the sim hot path between
+// barriers carries none of it.
+func BenchmarkServeSnapshot(b *testing.B) {
+	publish, err := SnapshotBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchprobe.ServeSnapshot(b, publish)
+}
+
+// BenchmarkMetricsRender times one run's share of a /metrics scrape
+// (family rendering plus stitching) — shared with `viatorbench -bench
+// serve` via internal/benchprobe.
+func BenchmarkMetricsRender(b *testing.B) {
+	benchprobe.MetricsRender(b)
+}

@@ -294,10 +294,12 @@ func (g *ShardGroup) next() (Time, bool) {
 // Returns the total number of events fired across shards.
 func (g *ShardGroup) Run(until Time) uint64 {
 	var fired uint64
-	if g.lookahead > 0 {
-		fired = g.runWindowed(until)
-	} else {
-		fired = g.runLockstep(until)
+	for {
+		n, more := g.StepWindow(until)
+		fired += n
+		if !more {
+			break
+		}
 	}
 	// All events at or before until have fired; advance every clock to
 	// the horizon exactly as a single kernel's Run(until) would.
@@ -307,26 +309,42 @@ func (g *ShardGroup) Run(until Time) uint64 {
 	return fired
 }
 
-// runWindowed is the parallel path: windows of width L, barrier, mail
-// exchange, repeat.
-func (g *ShardGroup) runWindowed(until Time) uint64 {
-	var fired uint64
-	// Events exactly at the horizon must fire (Run is inclusive), so the
-	// final windows run strictly before the next float after until.
-	end := math.Nextafter(until, math.Inf(1))
-	for {
+// StepWindow executes exactly one synchronization round toward until —
+// one conservative window (or one merged event in the zero-lookahead
+// fallback) followed by the barrier mail exchange — and reports whether
+// any work remains at or before until. The group is quiescent between
+// calls: no worker goroutine touches shard state, so the caller may
+// read any shard read-only before stepping again. That is the seam the
+// live server observes sharded runs through.
+//
+// Determinism: the sequence of windows depends only on the model and
+// the horizon, so a caller looping StepWindow(H) to exhaustion — however
+// its calls are spaced in wall time — reproduces the exact window
+// partition, and therefore the exact mail commit order and destination
+// event sequence, of a single Run(H). Always pass the same horizon for
+// the whole drain; varying it between calls changes the final window
+// clamp and with it the partition. After StepWindow returns false the
+// caller must advance each shard clock to the horizon (Shard(i).Run(H))
+// to match Run's post-drain contract.
+func (g *ShardGroup) StepWindow(until Time) (uint64, bool) {
+	if g.lookahead > 0 {
 		t, ok := g.next()
 		if !ok || t > until {
-			return fired
+			return 0, false
 		}
+		// Events exactly at the horizon must fire (Run is inclusive), so
+		// the final windows run strictly before the next float after until.
+		end := math.Nextafter(until, math.Inf(1))
 		h := t + g.lookahead
 		if !(h < end) {
 			h = end
 		}
 		g.Windows++
-		fired += g.runWindow(h)
+		fired := g.runWindow(h)
 		g.exchange()
+		return fired, true
 	}
+	return g.stepLockstep(until)
 }
 
 // runSlice advances worker n's static shard set (indices n, n+w, n+2w …)
@@ -407,27 +425,26 @@ func (g *ShardGroup) runWindow(h Time) uint64 {
 	return total
 }
 
-// runLockstep is the zero-lookahead sequential merge: fire the globally
-// earliest event (lowest shard index breaks timestamp ties), exchange
-// mail immediately, repeat. One event at a time, deterministic by
-// construction, no parallelism.
-func (g *ShardGroup) runLockstep(until Time) uint64 {
-	var fired uint64
-	for {
-		best, bt := -1, Time(0)
-		for i := range g.shards {
-			if t, ok := g.shards[i].k.NextEventTime(); ok && t <= until && (best < 0 || t < bt) {
-				best, bt = i, t
-			}
+// stepLockstep is one round of the zero-lookahead sequential merge:
+// fire the globally earliest event (lowest shard index breaks timestamp
+// ties), exchange mail immediately. One event at a time, deterministic
+// by construction, no parallelism.
+func (g *ShardGroup) stepLockstep(until Time) (uint64, bool) {
+	best, bt := -1, Time(0)
+	for i := range g.shards {
+		if t, ok := g.shards[i].k.NextEventTime(); ok && t <= until && (best < 0 || t < bt) {
+			best, bt = i, t
 		}
-		if best < 0 {
-			return fired
-		}
-		if g.shards[best].k.StepNext(until) {
-			fired++
-		}
-		g.exchange()
 	}
+	if best < 0 {
+		return 0, false
+	}
+	var fired uint64
+	if g.shards[best].k.StepNext(until) {
+		fired = 1
+	}
+	g.exchange()
+	return fired, true
 }
 
 // Fired returns the total events fired across all shards.

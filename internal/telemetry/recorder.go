@@ -210,6 +210,13 @@ func (r *Recorder) EachRollup(si int, f func(Rollup)) {
 	}
 }
 
+// Rollups returns the total number of completed rollup windows of
+// series si ever produced (including rows since evicted from the ring).
+// Together with EachRollup's oldest-first order it gives incremental
+// consumers — the live stream emits only windows completed since its
+// cursor — a monotone position to diff against.
+func (r *Recorder) Rollups(si int) int { return r.series[si].rolls }
+
 // SeriesName returns the name of series si.
 func (r *Recorder) SeriesName(si int) string { return r.series[si].name }
 

@@ -70,6 +70,16 @@ func (s *ScoreSet) Flow(name string, slo SLO) FlowID {
 	return f
 }
 
+// Lookup resolves name to its FlowID without registering anything: the
+// read-only twin of Flow for observers (mid-run status endpoints) that
+// must not perturb registration order — registration order decides
+// export byte order, so an observed run must register exactly what an
+// unobserved run would.
+func (s *ScoreSet) Lookup(name string) (FlowID, bool) {
+	f, ok := s.idx[name]
+	return f, ok
+}
+
 // NumFlows returns the number of registered flows.
 func (s *ScoreSet) NumFlows() int { return len(s.flows) }
 

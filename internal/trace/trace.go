@@ -63,6 +63,34 @@ func (l *Log) Events() []Event {
 	return out
 }
 
+// EachSince is the ring's subscriber hook: it calls f for every retained
+// event whose ordinal (0-based position in the full recorded stream) is
+// at least `from`, oldest-first, and returns the new stream total to pass
+// as `from` next time. A subscriber that polls at a bounded lag sees
+// every event exactly once; one that falls more than the ring capacity
+// behind silently loses the evicted prefix — Total() minus the previous
+// cursor minus the number of callbacks tells it how many. The log is not
+// safe for concurrent use: call EachSince from the goroutine that Adds
+// (the simulation driver polls at barrier boundaries).
+func (l *Log) EachSince(from uint64, f func(Event)) uint64 {
+	total := l.count
+	retained := uint64(len(l.buf))
+	start := total - retained // ordinal of the oldest retained event
+	if from < start {
+		from = start
+	}
+	for ord := from; ord < total; ord++ {
+		var idx uint64
+		if len(l.buf) < cap(l.buf) {
+			idx = ord // nothing evicted yet: ordinal == index
+		} else {
+			idx = (uint64(l.next) + (ord - start)) % uint64(cap(l.buf))
+		}
+		f(l.buf[idx])
+	}
+	return total
+}
+
 // Filter returns retained events of one category, oldest-first.
 func (l *Log) Filter(category string) []Event {
 	var out []Event

@@ -46,6 +46,71 @@ func TestFilter(t *testing.T) {
 	}
 }
 
+// collectSince drains EachSince into a message slice.
+func collectSince(l *Log, from uint64) ([]string, uint64) {
+	var msgs []string
+	next := l.EachSince(from, func(e Event) { msgs = append(msgs, e.Message) })
+	return msgs, next
+}
+
+func TestEachSinceIncremental(t *testing.T) {
+	l := New(4)
+	l.Add(1, "c", "e0")
+	l.Add(2, "c", "e1")
+	msgs, cur := collectSince(l, 0)
+	if len(msgs) != 2 || msgs[0] != "e0" || cur != 2 {
+		t.Fatalf("first drain: msgs=%v cur=%d", msgs, cur)
+	}
+	// No new events: the cursor round-trips with no callbacks.
+	msgs, cur = collectSince(l, cur)
+	if len(msgs) != 0 || cur != 2 {
+		t.Fatalf("idle drain: msgs=%v cur=%d", msgs, cur)
+	}
+	l.Add(3, "c", "e2")
+	msgs, cur = collectSince(l, cur)
+	if len(msgs) != 1 || msgs[0] != "e2" || cur != 3 {
+		t.Fatalf("incremental drain: msgs=%v cur=%d", msgs, cur)
+	}
+}
+
+func TestEachSinceAcrossEviction(t *testing.T) {
+	l := New(3)
+	l.Add(0, "c", "e0")
+	_, cur := collectSince(l, 0) // cursor at 1
+	for i := 1; i < 6; i++ {
+		l.Add(float64(i), "c", "e"+string(rune('0'+i)))
+	}
+	// Events e1..e5 happened but only e3..e5 are retained: the lagging
+	// subscriber sees exactly the retained suffix, oldest first.
+	msgs, next := collectSince(l, cur)
+	if len(msgs) != 3 || msgs[0] != "e3" || msgs[2] != "e5" {
+		t.Fatalf("evicted drain: %v", msgs)
+	}
+	if next != l.Total() {
+		t.Fatalf("cursor %d != total %d", next, l.Total())
+	}
+}
+
+func TestEachSinceAgreesWithEvents(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 9} {
+		l := New(4)
+		for i := 0; i < n; i++ {
+			l.Add(float64(i), "c", "m")
+		}
+		var viaSince []Event
+		l.EachSince(0, func(e Event) { viaSince = append(viaSince, e) })
+		want := l.Events()
+		if len(viaSince) != len(want) {
+			t.Fatalf("n=%d: EachSince %d events, Events %d", n, len(viaSince), len(want))
+		}
+		for i := range want {
+			if viaSince[i] != want[i] {
+				t.Fatalf("n=%d: event %d differs: %v vs %v", n, i, viaSince[i], want[i])
+			}
+		}
+	}
+}
+
 func TestDisabled(t *testing.T) {
 	l := New(4)
 	l.Enabled = false

@@ -1,0 +1,217 @@
+package viator
+
+import (
+	"strings"
+
+	"viator/internal/ship"
+	"viator/internal/telemetry"
+	"viator/internal/trace"
+)
+
+// Pauseable scenario execution for the live server (internal/serve).
+//
+// A RunHandle is a scenario run held open between steps: StartScenario
+// performs exactly the arming Run performs, StepTo advances the same
+// kernel (or shard group) the same way Run's single advance-to-horizon
+// call does, and Finish runs the identical epilogue. Because the batch
+// Run is itself implemented as start → advance → finish, an observed
+// stepped run and an unobserved batch run share every line of
+// simulation code — the determinism-under-observation contract is
+// structural, not a property tests merely hope for (though they pin it
+// anyway; see TestLiveRunMatchesBatch and the serve race test).
+//
+// Concurrency: a RunHandle is single-goroutine. The owning driver calls
+// StepTo/Finish and, while the handle is quiescent between those calls,
+// may read Status/Telemetry/Trace — all read-only over simulation state.
+// Nothing here is safe to touch concurrently with a running step; the
+// live server enforces that by doing all of it on one goroutine and
+// publishing immutable snapshots to its HTTP handlers.
+
+// RunHandle is one scenario run in progress.
+type RunHandle struct {
+	sc   *Scenario
+	seed uint64
+	r    *scenarioRun // single-kernel path
+	sr   *shardedRun  // sharded path (exactly one of r/sr is set)
+	res  *ScenarioResult
+	done bool
+}
+
+// StartScenario arms sc for one seed and returns the paused run at sim
+// time zero. The execution path (single-kernel vs sharded) is the one
+// Run would pick for the same spec and shard override.
+func StartScenario(sc *Scenario, seed uint64) *RunHandle {
+	h := &RunHandle{sc: sc, seed: seed}
+	if k := sc.shardKernels(); k > 0 {
+		h.sr = sc.startSharded(seed, k)
+	} else {
+		h.r = sc.start(seed)
+	}
+	return h
+}
+
+// Scenario returns the compiled scenario the handle runs.
+func (h *RunHandle) Scenario() *Scenario { return h.sc }
+
+// Seed returns the run's seed.
+func (h *RunHandle) Seed() uint64 { return h.seed }
+
+// Horizon returns the spec's end-of-run sim time.
+func (h *RunHandle) Horizon() float64 { return h.sc.Spec.Horizon }
+
+// Done reports whether the run has reached the horizon.
+func (h *RunHandle) Done() bool { return h.done }
+
+// Now returns the run's current sim time: the kernel clock, or for
+// sharded runs the slowest shard's clock (the conservative bound on
+// what has definitely happened).
+func (h *RunHandle) Now() float64 {
+	if h.r != nil {
+		return h.r.n.K.Now()
+	}
+	now := h.sc.Spec.Horizon
+	for i := 0; i < h.sr.group.NumShards(); i++ {
+		if t := float64(h.sr.group.Shard(i).Now()); t < now {
+			now = t
+		}
+	}
+	return now
+}
+
+// StepTo advances the run to sim time t (clamped to the horizon) and
+// pauses. Single-kernel runs advance with the same Kernel.Run the batch
+// path uses — chained Run(t1), Run(t2), … is definitionally identical
+// to one Run(horizon). Sharded runs advance whole conservative windows
+// (always cut against the final horizon, never against t, so the window
+// partition — and with it the cross-shard mail commit order — is exactly
+// the batch run's) until the slowest shard passes t.
+func (h *RunHandle) StepTo(t float64) {
+	if h.done {
+		return
+	}
+	horizon := h.sc.Spec.Horizon
+	if t > horizon {
+		t = horizon
+	}
+	if h.r != nil {
+		h.r.n.Run(t)
+		if t >= horizon {
+			h.done = true
+		}
+		return
+	}
+	for {
+		if _, more := h.sr.group.StepWindow(horizon); !more {
+			h.sr.settle()
+			h.done = true
+			return
+		}
+		if h.Now() >= t {
+			return
+		}
+	}
+}
+
+// Finish drives the run to the horizon if needed and seals the result —
+// the same epilogue (ticker stops, dump packaging, assertion
+// evaluation) the batch Run performs. Idempotent.
+func (h *RunHandle) Finish() *ScenarioResult {
+	if h.res != nil {
+		return h.res
+	}
+	h.StepTo(h.sc.Spec.Horizon)
+	if h.r != nil {
+		h.res = h.r.finish()
+	} else {
+		h.res = h.sr.finish()
+	}
+	return h.res
+}
+
+// Result returns the sealed result, nil before Finish.
+func (h *RunHandle) Result() *ScenarioResult { return h.res }
+
+// Telemetry exposes the run's live sinks for read-only rendering while
+// the handle is paused. Nil for sharded runs (no single recorder exists;
+// Status still reports their merged scorecards).
+func (h *RunHandle) Telemetry() *Telemetry {
+	if h.r != nil {
+		return h.r.tel
+	}
+	return nil
+}
+
+// Trace exposes the run's structured trace ring, nil for sharded runs.
+func (h *RunHandle) Trace() *trace.Log {
+	if h.r != nil {
+		return h.r.n.Trace
+	}
+	return nil
+}
+
+// LiveStatus is a read-only mid-run summary of a paused handle.
+type LiveStatus struct {
+	Now       float64
+	Horizon   float64
+	Done      bool
+	AliveFrac float64
+	Delivered uint64
+	Lost      uint64
+	// Flows are the per-flow scorecards registered so far (registration
+	// happens when traffic first touches a flow; observing never adds
+	// one), with current SLO verdicts.
+	Flows []telemetry.FlowReport
+}
+
+// Status summarizes the paused run. Every read is observational: no
+// flow registration, no RNG draws, no kernel events — the status of an
+// observed run leaves its future bytes untouched.
+func (h *RunHandle) Status() LiveStatus {
+	st := LiveStatus{Now: h.Now(), Horizon: h.Horizon(), Done: h.done}
+	if h.r != nil {
+		n := h.r.n
+		st.AliveFrac = n.AliveFraction()
+		st.Delivered, st.Lost = n.DeliveredShuttles, n.LostShuttles
+		if h.r.tel.QoS.NumFlows() > 0 {
+			st.Flows = h.r.tel.QoS.Reports()
+		}
+		return st
+	}
+	alive, total := 0, 0
+	merged := telemetry.NewScoreSet()
+	for _, d := range h.sr.ds {
+		st.Delivered += d.n.DeliveredShuttles
+		st.Lost += d.n.LostShuttles
+		for _, s := range d.n.Ships {
+			total++
+			if s.State() == ship.Alive {
+				alive++
+			}
+		}
+		merged.MergeFrom(d.tel.QoS)
+	}
+	if total > 0 {
+		st.AliveFrac = float64(alive) / float64(total)
+	}
+	if merged.NumFlows() > 0 {
+		st.Flows = merged.Reports()
+	}
+	return st
+}
+
+// BuiltinScenario resolves a builtin scenario by name (case-insensitive:
+// s1, s2, s3, s3s) — the specs the live server can start without being
+// handed a spec body.
+func BuiltinScenario(name string) (*Scenario, bool) {
+	switch strings.ToUpper(name) {
+	case "S1":
+		return scenarioS1, true
+	case "S2":
+		return scenarioS2, true
+	case "S3":
+		return scenarioS3, true
+	case "S3S":
+		return scenarioS3S, true
+	}
+	return nil, false
+}

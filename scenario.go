@@ -156,6 +156,9 @@ type scenarioRun struct {
 	// rng is the shared churn+traffic stream (split after the jets,
 	// matching the retired hand-written scenarios).
 	rng *sim.RNG
+	// res accumulates the checkpoint rows while the kernel runs; finish
+	// seals it.
+	res *ScenarioResult
 }
 
 // inWindow gates an emission to the [start, stop) window; stop 0 means
@@ -209,10 +212,27 @@ func (r *scenarioRun) repairs() uint64 {
 // compile onto the sharded executor (see shardrun.go); everything else
 // takes the single-kernel path below, whatever the -shards override says
 // — so S1/S2 output is bit-for-bit independent of the shard knob.
+//
+// Run is literally start → advance-to-horizon → finish, the same three
+// calls a live RunHandle (live.go) makes with observation pauses between
+// the advance steps — one code path, so an observed run cannot diverge
+// from a batch run by construction.
 func (sc *Scenario) Run(seed uint64) *ScenarioResult {
 	if k := sc.shardKernels(); k > 0 {
-		return sc.runSharded(seed, k)
+		r := sc.startSharded(seed, k)
+		r.group.Run(sc.Spec.Horizon)
+		return r.finish()
 	}
+	r := sc.start(seed)
+	r.n.Run(sc.Spec.Horizon)
+	return r.finish()
+}
+
+// start arms the scenario for one seed on a fresh single-kernel Network
+// and returns without running: topology, arena, routing pulses, healing,
+// telemetry, jets, churn, traffic, faults and the checkpoint-row
+// schedule, in the fixed order the golden byte-identity tests pin.
+func (sc *Scenario) start(seed uint64) *scenarioRun {
 	sp := sc.Spec
 	cfg := DefaultConfig(sp.Ships, seed)
 	cfg.UnfairFraction = sp.UnfairFraction
@@ -287,7 +307,7 @@ func (sc *Scenario) Run(seed uint64) *ScenarioResult {
 		n.K.At(f.At, func() { r.applyFault(f) })
 	}
 
-	res := &ScenarioResult{Title: sp.Title}
+	r.res = &ScenarioResult{Title: sp.Title}
 	for t := sp.RowEvery; t <= sp.Horizon; t += sp.RowEvery {
 		t := t
 		n.K.At(t, func() {
@@ -296,7 +316,7 @@ func (sc *Scenario) Run(seed uint64) *ScenarioResult {
 			if qos.SLOPass {
 				slo = 1
 			}
-			res.Rows = append(res.Rows, ScenarioRow{
+			r.res.Rows = append(r.res.Rows, ScenarioRow{
 				T:          t,
 				AliveFrac:  n.AliveFraction(),
 				LinksUp:    r.linksUp(),
@@ -312,12 +332,19 @@ func (sc *Scenario) Run(seed uint64) *ScenarioResult {
 			})
 		})
 	}
-	n.Run(sp.Horizon)
-	n.StopPulses()
+	return r
+}
+
+// finish seals a run whose kernel has reached the horizon: stops the
+// pulse and telemetry tickers, packages the telemetry dump and evaluates
+// the spec's assertions. Exactly the epilogue Run always performed, so
+// stepped (live) runs and batch runs end identically.
+func (r *scenarioRun) finish() *ScenarioResult {
+	r.n.StopPulses()
 	r.tel.Stop()
-	res.Dump = r.tel.Dump()
-	res.Verdicts = r.evaluate()
-	return res
+	r.res.Dump = r.tel.Dump()
+	r.res.Verdicts = r.evaluate()
+	return r.res
 }
 
 // armTraffic schedules one traffic generator. Every per-slot closure

@@ -148,11 +148,12 @@ func (d *shardDistrict) partitions() uint64 {
 // shardedRun is the whole-run state: the executor, the districts and the
 // row schedule.
 type shardedRun struct {
-	sc    *Scenario
-	group *sim.ShardGroup
-	ds    []*shardDistrict
-	per   int // ships per district
-	dpk   int // districts per kernel
+	sc      *Scenario
+	group   *sim.ShardGroup
+	ds      []*shardDistrict
+	per     int // ships per district
+	dpk     int // districts per kernel
+	numRows int
 }
 
 func (r *shardedRun) kernelOf(district int) int { return district / r.dpk }
@@ -195,13 +196,16 @@ func (r *shardedRun) deliverCross(pkt *netsim.Packet) {
 	d.n.dock(local, sh)
 }
 
-// runSharded executes a sharded scenario for one seed on k shard
-// kernels. The arming order is fixed — districts in index order, each
-// mirroring the unsharded compiler's sequence (arena, pulses, healer,
-// telemetry, jets, run stream, churn, traffic, cross-traffic), then the
-// trunk mesh, then the checkpoint schedule — so a (spec, seed, k) triple
-// fully determines the run.
-func (sc *Scenario) runSharded(seed uint64, kernels int) *ScenarioResult {
+// startSharded arms a sharded scenario for one seed on k shard kernels
+// and returns without running. The arming order is fixed — districts in
+// index order, each mirroring the unsharded compiler's sequence (arena,
+// pulses, healer, telemetry, jets, run stream, churn, traffic,
+// cross-traffic), then the trunk mesh, then the checkpoint schedule — so
+// a (spec, seed, k) triple fully determines the run. Advance the
+// returned run with group.Run(horizon) in one shot, or window-by-window
+// with group.StepWindow(horizon) + settle() (the live path), then seal
+// it with finish().
+func (sc *Scenario) startSharded(seed uint64, kernels int) *shardedRun {
 	sp := sc.Spec
 	D := sp.Shards
 	per := sp.Ships / D
@@ -338,15 +342,32 @@ func (sc *Scenario) runSharded(seed uint64, kernels int) *ScenarioResult {
 		row++
 	}
 
-	r.group.Run(sp.Horizon)
+	r.numRows = numRows
+	return r
+}
+
+// settle advances every shard clock to the horizon after StepWindow has
+// drained the event queues — the trailing clock sweep ShardGroup.Run
+// performs itself. Live drivers looping StepWindow call it once before
+// finish.
+func (r *shardedRun) settle() {
+	for i := 0; i < r.group.NumShards(); i++ {
+		r.group.Shard(i).Run(r.sc.Spec.Horizon)
+	}
+}
+
+// finish seals a sharded run whose group has reached the horizon:
+// releases the worker pool, stops the per-district tickers, merges the
+// checkpoint rows and evaluates the assertions — the exact epilogue the
+// batch path always ran.
+func (r *shardedRun) finish() *ScenarioResult {
 	r.group.Close()
 	for _, d := range r.ds {
 		d.n.StopPulses()
 		d.tel.Stop()
 	}
-
-	res := &ScenarioResult{Title: sp.Title}
-	res.Rows = r.mergeRows(numRows)
+	res := &ScenarioResult{Title: r.sc.Spec.Title}
+	res.Rows = r.mergeRows(r.numRows)
 	res.Verdicts = r.evaluate()
 	return res
 }
